@@ -1,0 +1,99 @@
+"""A3 — SPU chunk-size ablation.
+
+The paper fixes the node-level decomposition at 4 KB ("each record was
+split into 4KB data blocks that were sent to the SPUs", §IV-A) without
+justifying it. This bench sweeps the chunk size through the Cell offload
+runtime and shows the design space the authors navigated:
+
+- tiny chunks pay per-request DMA latency and lose throughput;
+- the plateau is broad (1 KB–32 KB all reach ~the socket rate,
+  because AES compute dominates the DMA at every legal size);
+- chunks above ~52 KB cannot double-buffer inside the 256 KB local
+  store at all — the allocator rejects them, exactly like real SPE code.
+"""
+
+import pytest
+
+from repro.analysis import Series
+from repro.perf import PAPER_CALIBRATION
+from repro.perf.calibration import MB
+from repro.cell import CellProcessor, DirectSPERuntime, LocalStoreOverflow
+from repro.sim import Environment
+
+from conftest import emit
+
+CAL = PAPER_CALIBRATION
+CHUNKS = (64, 256, 1024, 4096, 16 * 1024, 32 * 1024)
+DATA = 64 * MB
+
+
+def _bandwidth_for_chunk(chunk_bytes: int) -> float:
+    env = Environment()
+    cell = CellProcessor(env, 0, CAL)
+    rt = DirectSPERuntime(cell, CAL, chunk_bytes=chunk_bytes)
+
+    def run():
+        result = yield from rt.offload_bytes(DATA, CAL.aes_spe_bw)
+        return result
+
+    result = env.run(env.process(run()))
+    return DATA / result.elapsed_s / MB
+
+
+def _sweep():
+    s = Series("offload bandwidth (MB/s)")
+    for c in CHUNKS:
+        s.append(c, _bandwidth_for_chunk(c))
+    return [s]
+
+
+def test_ablation_chunk_size(once):
+    series = once(_sweep)
+    s = series[0]
+    paper_bw = s.y_at(4096)
+    tiny_bw = s.y_at(64)
+    # Oversized chunks must be rejected by the local-store allocator.
+    env = Environment()
+    cell = CellProcessor(env, 0, CAL)
+    with pytest.raises(LocalStoreOverflow):
+        DirectSPERuntime(cell, CAL, chunk_bytes=64 * 1024)
+    claims = [
+        (
+            "paper's 4 KB chunk reaches the socket plateau",
+            "~700 MB/s",
+            f"{paper_bw:.0f} MB/s",
+            paper_bw > 0.97 * 700,
+        ),
+        (
+            "tiny chunks lose throughput to DMA issue latency",
+            "visible drop at 64 B",
+            f"{tiny_bw:.0f} vs {paper_bw:.0f} MB/s",
+            tiny_bw < paper_bw,
+        ),
+        (
+            "chunks beyond the local-store budget are impossible",
+            "alloc failure >52 KB",
+            "LocalStoreOverflow at 64 KB",
+            True,
+        ),
+        (
+            "1 KB already loses a few % to per-chunk overhead",
+            "slightly below 4 KB",
+            f"{s.y_at(1024):.0f} vs {paper_bw:.0f} MB/s",
+            0.9 * paper_bw < s.y_at(1024) < paper_bw,
+        ),
+        (
+            "beyond 4 KB the curve saturates (overhead amortized)",
+            "within ~2.5% of 4 KB",
+            ", ".join(f"{y:.0f}" for y in s.ys[3:]),
+            all(abs(y - paper_bw) / paper_bw < 0.025 for y in s.ys[3:]),
+        ),
+    ]
+    emit(
+        "Ablation A3: SPU chunk-size sweep for the AES offload",
+        series,
+        claims,
+        xlabel="Chunk (bytes)",
+        ylabel="MB/s",
+        figure="A3 (chunking)",
+    )

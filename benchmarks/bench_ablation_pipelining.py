@@ -1,0 +1,80 @@
+"""A4 — Record-pipelining ablation: *why* Java == Cell in Figs. 4/5.
+
+The paper reports the tie and attributes it to "the Hadoop communication
+processes", but the mechanism is specifically *overlap*: the
+RecordReader streams record N+1 while record N computes, so any kernel
+faster than the ~10 MB/s delivery path is fully hidden. This ablation
+turns the overlap off (strictly serial read → compute per record) and
+shows the tie break apart: the Java mapper's 16 MB/s kernel now adds to
+every record's latency, while the Cell mapper barely notices.
+
+This is the reproduction's strongest evidence that the simulated
+mechanism — not a tuned constant — produces the paper's headline
+result.
+"""
+
+from repro.analysis import Series
+from repro.perf import Backend, PAPER_CALIBRATION
+from repro.perf.calibration import GB
+from repro.core import run_encryption_job
+
+from conftest import emit
+
+NODES = 4
+DATA = NODES * PAPER_CALIBRATION.mappers_per_node * GB  # 1 GB/mapper
+
+
+def _sweep():
+    out = []
+    for label, depth in (("pipelined (stock Hadoop)", 2), ("serial (ablation)", 0)):
+        calib = PAPER_CALIBRATION.evolve(record_pipeline_depth=depth)
+        s = Series(label)
+        for i, backend in enumerate((Backend.JAVA_PPE, Backend.CELL_SPE_DIRECT)):
+            result = run_encryption_job(NODES, DATA, backend, calib=calib)
+            assert result.succeeded
+            s.append(i + 1, result.makespan_s)  # x=1 java, x=2 cell
+        out.append(s)
+    return out
+
+
+def test_ablation_record_pipelining(once):
+    series = once(_sweep)
+    piped, serial = series
+    java_p, cell_p = piped.y_at(1), piped.y_at(2)
+    java_s, cell_s = serial.y_at(1), serial.y_at(2)
+    tie_gap = abs(java_p - cell_p) / java_p
+    serial_gap = (java_s - cell_s) / cell_s
+    claims = [
+        (
+            "with pipelining Java == Cell (the Figs. 4/5 tie)",
+            "gap < ~5%",
+            f"{tie_gap * 100:.1f}%",
+            tie_gap < 0.05,
+        ),
+        (
+            "without pipelining the tie breaks: Java >> Cell",
+            "kernel no longer hidden",
+            f"Java {serial_gap * 100:.0f}% slower than Cell",
+            serial_gap > 0.25,
+        ),
+        (
+            "Cell barely notices the ablation (kernel ~free)",
+            "small change",
+            f"{cell_p:.0f}s -> {cell_s:.0f}s",
+            abs(cell_s - cell_p) / cell_p < 0.15,
+        ),
+        (
+            "Java pays its full kernel time when serialized",
+            "larger change",
+            f"{java_p:.0f}s -> {java_s:.0f}s",
+            java_s > java_p * 1.25,
+        ),
+    ]
+    emit(
+        "Ablation A4: record pipelining on/off (x=1 Java mapper, x=2 Cell mapper)",
+        series,
+        claims,
+        xlabel="backend (1=Java, 2=Cell)",
+        ylabel="Time (s)",
+        figure="A4 (pipelining)",
+    )

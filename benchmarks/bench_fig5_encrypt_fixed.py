@@ -1,0 +1,84 @@
+"""Figure 5 — Distributed encryption, fixed 120 GB data set.
+
+Paper setup (§IV-A): 120 GB input, nodes {4, 8, 16, 32, 64}, three
+mappers: EmptyMapper (reads but computes nothing — the Hadoop-overhead
+probe), Java, and Cell-accelerated.
+
+Paper observations reproduced here:
+- "the Hadoop runtime scales well with the number of nodes";
+- "the effect of hardware acceleration can be hardly noticed";
+- "the difference in the execution time between the Empty mapper ...
+  and the other mappers is really small" — communication is the
+  limiting factor for data-intensive applications.
+"""
+
+from repro.analysis import Series, is_monotonic, log_slope
+from repro.perf import Backend
+from repro.perf.calibration import GB
+from repro.core import run_empty_job, run_encryption_job
+
+from conftest import emit
+
+NODES = (4, 8, 16, 32, 64)
+DATA = 120 * GB
+
+
+def _sweep():
+    out = []
+    for label, backend in (
+        ("Empty Mapper", Backend.EMPTY),
+        ("Java Mapper", Backend.JAVA_PPE),
+        ("Cell Mapper", Backend.CELL_SPE_DIRECT),
+    ):
+        s = Series(label)
+        for n in NODES:
+            if backend is Backend.EMPTY:
+                result = run_empty_job(n, DATA)
+            else:
+                result = run_encryption_job(n, DATA, backend)
+            assert result.succeeded
+            s.append(n, result.makespan_s)
+        out.append(s)
+    return out
+
+
+def test_fig5_encrypt_fixed_120gb(once):
+    series = once(_sweep)
+    empty, java, cell = series
+    slope = log_slope(java, 4, 64)
+    accel_gap = max(abs(java.y_at(n) - cell.y_at(n)) / java.y_at(n) for n in NODES)
+    empty_gap = max((java.y_at(n) - empty.y_at(n)) / java.y_at(n) for n in NODES)
+    claims = [
+        (
+            "Hadoop scales well with node count",
+            "time drops with nodes",
+            f"log-log slope {slope:.2f}",
+            all(is_monotonic(s.ys, increasing=False) for s in series) and slope < -0.85,
+        ),
+        (
+            "hardware acceleration hardly noticed",
+            "Java ~= Cell",
+            f"max gap {accel_gap * 100:.1f}%",
+            accel_gap < 0.08,
+        ),
+        (
+            "EmptyMapper difference is really small",
+            "Empty ~= Java",
+            f"max gap {empty_gap * 100:.1f}%",
+            0 <= empty_gap < 0.08,
+        ),
+        (
+            "order of magnitude: thousands of seconds at 4 nodes",
+            "~10^3 s scale-down",
+            f"{java.y_at(4):.0f} s -> {java.y_at(64):.0f} s",
+            1000 < java.y_at(4) < 5000 and 100 < java.y_at(64) < 400,
+        ),
+    ]
+    emit(
+        "Figure 5: Distributed encryption of 120 GB (time vs nodes, log-log)",
+        series,
+        claims,
+        xlabel="Nodes",
+        ylabel="Time (s)",
+        figure="Fig. 5",
+    )

@@ -1,0 +1,84 @@
+"""Figure 8 — Distributed Pi estimation, 1e11 samples, node scaling.
+
+Paper setup (§IV-B): 1e11 samples, nodes {4, 8, 16, 32, 64}, three
+curves: Java mapper, Cell mapper, and Cell mapper with 10x the samples.
+
+Paper observations reproduced here:
+- "the Cell-accelerated mapper is clearly quicker than the Java mapper,
+  and the difference in performance varies from one to two orders of
+  magnitude";
+- "for the Cell-accelerated Mapper and configurations with 8 or more
+  nodes, what is limiting the performance ... is the Hadoop runtime";
+- the 10x run "shows the same linear reduction ... until the Hadoop
+  runtime starts limiting the overall performance ... again, in the 32
+  nodes configuration".
+"""
+
+from repro.analysis import Series, log_slope
+from repro.perf import Backend
+from repro.core import run_pi_job
+
+from conftest import emit
+
+NODES = (4, 8, 16, 32, 64)
+SAMPLES = 1e11
+
+
+def _sweep():
+    out = []
+    for label, backend, mult in (
+        ("Java Mapper", Backend.JAVA_PPE, 1),
+        ("Cell BE Mapper", Backend.CELL_SPE_DIRECT, 1),
+        ("Cell BE Mapper (10x samples)", Backend.CELL_SPE_DIRECT, 10),
+    ):
+        s = Series(label)
+        for n in NODES:
+            result = run_pi_job(n, SAMPLES * mult, backend)
+            assert result.succeeded
+            s.append(n, result.makespan_s)
+        out.append(s)
+    return out
+
+
+def test_fig8_pi_scaling(once):
+    series = once(_sweep)
+    java, cell, cell10 = series
+    ratios = [java.y_at(n) / cell.y_at(n) for n in NODES]
+    java_slope = log_slope(java, 4, 64)
+    cell_tail_slope = log_slope(cell, 8, 64)
+    c10_head = log_slope(cell10, 4, 32)
+    c10_tail = log_slope(cell10, 32, 64)
+    claims = [
+        (
+            "Cell is 1-2 orders of magnitude quicker than Java",
+            "10x-100x",
+            f"{min(ratios):.0f}x-{max(ratios):.0f}x",
+            min(ratios) >= 8 and max(ratios) <= 300,
+        ),
+        (
+            "Java keeps scaling linearly",
+            "log-log slope ~-1",
+            f"{java_slope:.2f}",
+            -1.1 <= java_slope <= -0.85,
+        ),
+        (
+            "Cell limited by the Hadoop runtime at >=8 nodes",
+            "flat beyond 8 nodes",
+            f"slope(8..64) = {cell_tail_slope:.2f}",
+            cell_tail_slope > -0.5,
+        ),
+        (
+            "10x-samples curve scales linearly then stops around 32 nodes",
+            "slope -1 early, flattens late",
+            f"head {c10_head:.2f}, tail {c10_tail:.2f}",
+            c10_head < -0.85 and c10_tail > c10_head + 0.2,
+        ),
+    ]
+    emit(
+        "Figure 8: Distributed Pi estimation of 1e11 samples (time vs nodes)",
+        series,
+        claims,
+        xlabel="Nodes",
+        ylabel="Time (s)",
+        figure="Fig. 8",
+    )

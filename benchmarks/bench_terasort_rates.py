@@ -1,0 +1,76 @@
+"""E7 — The §IV-A Terasort rate analysis.
+
+The paper closes its data-intensive section by analysing the 2009
+Terasort winner: "an impressive overall sorting rate of 5017MB/s"
+that nevertheless amounts to "5.5MB/s [per node] and each core does it
+at 0.6MB/s, what seems to point out that the effective data bandwidth at
+which data can be sent to the mappers was also the limiting factor,
+since the sorting capacity of a high-end processor may be well above
+that value."
+
+This bench runs a Terasort-style job through the simulated stack and
+checks the same conclusion emerges: the per-mapper *delivered* rate is
+pinned near the RecordReader path rate and sits far below the CPU's
+sort capacity.
+"""
+
+from repro.analysis import Series
+from repro.perf import Backend, PAPER_CALIBRATION
+from repro.perf.calibration import GB, MB
+from repro.core import run_sort_job
+
+from conftest import emit
+
+CAL = PAPER_CALIBRATION
+NODES = (4, 8, 16)
+GB_PER_MAPPER = 1
+
+
+def _sweep():
+    per_node = Series("per-node sort rate (MB/s)")
+    per_mapper = Series("per-mapper sort rate (MB/s)")
+    for n in NODES:
+        data = n * CAL.mappers_per_node * GB_PER_MAPPER * GB
+        result = run_sort_job(n, data, backend=Backend.JAVA_PPE)
+        assert result.succeeded
+        rate_node = data / result.makespan_s / n / MB
+        rate_mapper = rate_node / CAL.mappers_per_node
+        per_node.append(n, rate_node)
+        per_mapper.append(n, rate_mapper)
+    return [per_node, per_mapper]
+
+
+def test_terasort_rate_analysis(once):
+    series = once(_sweep)
+    per_node, per_mapper = series
+    worst_mapper_rate = max(per_mapper.ys)
+    cpu_capacity_mb = CAL.sort_cpu_bw_per_core / MB
+    delivery_mb = CAL.recordreader_stream_bw / MB
+    claims = [
+        (
+            "per-mapper rate pinned at/below the delivery path",
+            f"<= ~{delivery_mb:.0f} MB/s",
+            f"{worst_mapper_rate:.1f} MB/s",
+            worst_mapper_rate <= delivery_mb * 1.05,
+        ),
+        (
+            "CPU sort capacity is far above the delivered rate",
+            "well above",
+            f"{cpu_capacity_mb:.0f} MB/s capacity vs {worst_mapper_rate:.1f} MB/s delivered",
+            cpu_capacity_mb > 5 * worst_mapper_rate,
+        ),
+        (
+            "per-node rate is single-digit MB/s (paper: 5.5 MB/s/node)",
+            "same order of magnitude",
+            f"{per_node.ys[0]:.1f} MB/s",
+            1 <= per_node.ys[0] <= 30,
+        ),
+    ]
+    emit(
+        "Terasort rate analysis: delivered sort rate vs CPU capacity",
+        series,
+        claims,
+        xlabel="Nodes",
+        ylabel="MB/s",
+        figure="E7 (Terasort)",
+    )

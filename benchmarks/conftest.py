@@ -1,0 +1,38 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Every benchmark regenerates one of the paper's evaluation figures: it
+runs the workload through the simulated stack, prints the same series
+the figure plots (plus an ASCII rendering and a paper-vs-measured claim
+table), and asserts the claims so a calibration regression fails loudly.
+"""
+
+import sys
+
+import pytest
+
+from repro.analysis import ascii_chart, paper_comparison_rows
+from repro.analysis.report import series_table
+
+
+def emit(title: str, series, claims, xlabel: str, ylabel: str, figure: str) -> None:
+    """Print one figure's full reproduction block."""
+    out = sys.stdout
+    print(f"\n{'=' * 78}\n{title}\n{'=' * 78}", file=out)
+    print(series_table(series, x_name=xlabel), file=out)
+    print(file=out)
+    print(ascii_chart(series, title=title, xlabel=xlabel, ylabel=ylabel), file=out)
+    print(file=out)
+    print(paper_comparison_rows(figure, claims), file=out)
+    failed = [c for c in claims if not c[3]]
+    assert not failed, f"{figure}: failed claims: {[c[0] for c in failed]}"
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benched callable exactly once (simulations are
+    deterministic; repeated rounds only waste the time budget)."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Distributed AES encryption — a compact Figure 4 + Figure 5 session.
+
+Recreates the paper's data-intensive evaluation at reduced scale and
+prints the figures as terminal charts:
+
+- proportional data set (1 GB per mapper, Fig. 4): Java == Cell because
+  the Hadoop data path bounds both;
+- fixed data set (Fig. 5): near-linear scaling, Empty ~= Java ~= Cell.
+
+Run: python examples/distributed_encryption.py
+"""
+
+from repro.analysis import Series, ascii_chart
+from repro.analysis.report import series_table
+from repro.core import run_empty_job, run_encryption_job
+from repro.perf import Backend, PAPER_CALIBRATION
+from repro.perf.calibration import GB
+
+CAL = PAPER_CALIBRATION
+
+
+def proportional_sweep(nodes=(4, 8, 12)) -> list[Series]:
+    series = []
+    for label, backend in (("Java Mapper", Backend.JAVA_PPE),
+                           ("Cell BE Mapper", Backend.CELL_SPE_DIRECT)):
+        s = Series(label)
+        for n in nodes:
+            data = n * CAL.mappers_per_node * GB  # 1 GB per mapper
+            r = run_encryption_job(n, data, backend)
+            s.append(n, r.makespan_s)
+        series.append(s)
+    return series
+
+
+def fixed_sweep(nodes=(4, 8, 16, 32), data=32 * GB) -> list[Series]:
+    series = []
+    for label, backend in (("Empty Mapper", Backend.EMPTY),
+                           ("Java Mapper", Backend.JAVA_PPE),
+                           ("Cell Mapper", Backend.CELL_SPE_DIRECT)):
+        s = Series(label)
+        for n in nodes:
+            r = (run_empty_job(n, data) if backend is Backend.EMPTY
+                 else run_encryption_job(n, data, backend))
+            s.append(n, r.makespan_s)
+        series.append(s)
+    return series
+
+
+if __name__ == "__main__":
+    print("Proportional data set: 1 GB per mapper (paper Fig. 4)\n")
+    prop = proportional_sweep()
+    print(series_table(prop, x_name="nodes"))
+    print()
+    print(ascii_chart(prop, logx=False, logy=False, height=12,
+                      title="Fig. 4 shape", xlabel="nodes", ylabel="time (s)"))
+    print("\n" + "=" * 72 + "\n")
+    print("Fixed 32 GB data set (paper Fig. 5, reduced from 120 GB)\n")
+    fixed = fixed_sweep()
+    print(series_table(fixed, x_name="nodes"))
+    print()
+    print(ascii_chart(fixed, height=14, title="Fig. 5 shape",
+                      xlabel="nodes", ylabel="time (s)"))
+    print("\nNote how the three curves are nearly indistinguishable: the")
+    print("RecordReader delivery path, not the kernel, sets the pace.")

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Monte-Carlo Pi — functional estimation plus the distributed sweep.
+
+First computes Pi for real (with the paper's O(1/sqrt(N)) error check),
+exactly as the Hadoop PiEstimator + Cell port did; then reruns the
+paper's CPU-intensive evaluation (Fig. 7 shape) on the simulated
+cluster, showing where acceleration pays off and where the Hadoop
+runtime floor hides it.
+
+Run: python examples/pi_estimation.py
+"""
+
+import math
+
+from repro.analysis import Series, ascii_chart
+from repro.analysis.report import series_table
+from repro.core import run_pi_job
+from repro.perf import Backend
+from repro.workloads import estimate_pi, pi_error_bound
+
+
+def functional_demo() -> None:
+    print("=== Functional Monte-Carlo Pi ===")
+    print(f"  {'samples':>12} {'estimate':>10} {'error':>10} {'3-sigma bound':>14}")
+    for exp in (4, 5, 6, 7):
+        n = 10 ** exp
+        est = estimate_pi(n, seed=2009)
+        bound = pi_error_bound(n)
+        ok = "ok" if est.error < bound else "OUTSIDE BOUND"
+        print(f"  {n:12d} {est.value:10.6f} {est.error:10.6f} {bound:14.6f}  {ok}")
+    # The distributed job's reduce step is count merging:
+    parts = [estimate_pi(250_000, seed=s) for s in range(4)]
+    merged = parts[0]
+    for p in parts[1:]:
+        merged = merged.merge(p)
+    print(f"  4 mappers x 250k merged -> {merged.value:.6f} "
+          f"(err {abs(merged.value - math.pi):.6f})\n")
+
+
+def distributed_demo(nodes: int = 10) -> None:
+    print(f"=== Distributed Pi on {nodes} simulated Cell blades (Fig. 7 shape) ===\n")
+    counts = (1e4, 1e6, 1e8, 1e10, 1e12)
+    series = []
+    for label, backend in (("Java Mapper", Backend.JAVA_PPE),
+                           ("Cell BE Mapper", Backend.CELL_SPE_DIRECT)):
+        s = Series(label)
+        for c in counts:
+            r = run_pi_job(nodes, c, backend)
+            s.append(c, r.makespan_s)
+        series.append(s)
+    print(series_table(series, x_name="samples"))
+    print()
+    print(ascii_chart(series, title="time vs samples (log-log)",
+                      xlabel="samples", ylabel="time (s)"))
+    java, cell = series
+    print(f"\nAt 1e12 samples the Cell mapper is "
+          f"{java.y_at(1e12) / cell.y_at(1e12):.0f}x faster; below ~1e8 both "
+          f"sit on the Hadoop runtime floor ({java.y_at(1e4):.0f} s).")
+
+
+if __name__ == "__main__":
+    functional_demo()
+    distributed_demo()

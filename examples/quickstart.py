@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: the three layers of the reproduction in five minutes.
+
+1. Functional MapReduce (LocalExecutor) — real map()/reduce() over real
+   data, the semantics Hadoop provides.
+2. Functional two-level encryption — the paper's architecture with real
+   AES bytes: cluster-level records, Cell-level 4 KB SPU chunks.
+3. A simulated distributed job — the full stack (HDFS + Hadoop runtime +
+   Cell offload) at cluster scale, timed by the discrete-event engine.
+
+Run: python examples/quickstart.py
+"""
+
+from repro.core import LocalExecutor, TwoLevelEncryptor, run_encryption_job
+from repro.perf import Backend
+from repro.perf.calibration import GB
+from repro.workloads import synthetic_text, wordcount_map, wordcount_reduce
+from repro.workloads.generators import random_bytes
+
+
+def demo_local_mapreduce() -> None:
+    print("=== 1. Functional MapReduce (word count) ===")
+    text = synthetic_text(n_words=200, seed=42)
+    inputs = [(i, line) for i, line in enumerate(text.splitlines())]
+    executor = LocalExecutor(num_reducers=4)
+    counts = executor.run(inputs, wordcount_map, wordcount_reduce,
+                          combiner=wordcount_reduce)
+    top = sorted(counts, key=lambda kv: -kv[1])[:5]
+    for word, count in top:
+        print(f"  {word:12s} {count}")
+    print(f"  ({executor.counters['map_output_records']} map outputs, "
+          f"{executor.counters['combine_output_records']} after combine)\n")
+
+
+def demo_two_level_encryption() -> None:
+    print("=== 2. Two-level AES pipeline (real bytes) ===")
+    data = random_bytes(256 * 1024, seed=7)
+    enc = TwoLevelEncryptor(key=b"0123456789abcdef", record_bytes=64 * 1024)
+    ciphertext = enc.encrypt(data)
+    assert ciphertext == enc.reference_encrypt(data), "pipeline != reference!"
+    assert enc.decrypt(ciphertext) == data, "roundtrip failed!"
+    print(f"  encrypted {len(data) // 1024} KB through "
+          f"{len(data) // enc.record_bytes} records x "
+          f"{enc.record_bytes // enc.chunk_bytes} SPU chunks each")
+    print("  bit-identical to whole-buffer encryption: OK\n")
+
+
+def demo_simulated_cluster() -> None:
+    print("=== 3. Simulated distributed encryption (8 blades, 16 GB) ===")
+    for backend in (Backend.JAVA_PPE, Backend.CELL_SPE_DIRECT, Backend.EMPTY):
+        result = run_encryption_job(nodes=8, data_bytes=16 * GB, backend=backend)
+        print(f"  {backend.value:18s} makespan = {result.makespan_s:7.1f} s "
+              f"(kernel busy {result.kernel_busy_s:7.1f} s, "
+              f"{result.remote_fraction * 100:4.1f}% remote reads)")
+    print("  -> the data path, not the kernel, bounds the job (the paper's"
+          " central result)")
+
+
+if __name__ == "__main__":
+    demo_local_mapreduce()
+    demo_two_level_encryption()
+    demo_simulated_cluster()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Terasort, both ways: functionally and at cluster scale.
+
+Part 1 runs a complete, real Terasort pipeline in memory — generate
+gensort-style records, sample a partitioner, partition, sort each
+partition, merge — and verifies the global ordering.
+
+Part 2 replays §IV-A's rate analysis on the simulated cluster: a
+full map+shuffle+reduce sort job whose delivered per-node rate lands in
+the same single-digit-MB/s regime as the 2009 Terasort winner (5.5
+MB/s/node), far below CPU sort capacity — because the Hadoop data path,
+not the sort kernel, is the bottleneck.
+
+Run: python examples/terasort.py
+"""
+
+import numpy as np
+
+from repro.core import run_sort_job
+from repro.perf import Backend, PAPER_CALIBRATION
+from repro.perf.calibration import GB, MB
+from repro.workloads.sort import (
+    make_sort_records,
+    merge_sorted_runs,
+    partition_records,
+    records_are_sorted,
+    sample_partitioner,
+    sort_records,
+)
+
+CAL = PAPER_CALIBRATION
+
+
+def functional_terasort(n_records: int = 200_000, reducers: int = 8) -> None:
+    print(f"=== Functional Terasort: {n_records} records, {reducers} reducers ===")
+    records = make_sort_records(n_records, seed=2009)
+    boundaries = sample_partitioner(records, reducers, seed=2009)
+    partitions = partition_records(records, boundaries)
+    sizes = [len(p) for p in partitions]
+    print(f"  partition sizes: min={min(sizes)}, max={max(sizes)} "
+          f"(ideal {n_records // reducers})")
+    sorted_runs = [sort_records(p) for p in partitions]
+    merged = merge_sorted_runs(sorted_runs)
+    assert len(merged) == n_records
+    assert records_are_sorted(merged), "GLOBAL ORDER VIOLATED"
+    # Partition ranges are disjoint, so concatenation is already sorted.
+    concat = np.vstack([r for r in sorted_runs if len(r)])
+    assert records_are_sorted(concat)
+    print("  globally sorted: OK (partition ranges are disjoint)\n")
+
+
+def simulated_sort_rates(nodes=(4, 8)) -> None:
+    print("=== Simulated cluster sort (the paper's §IV-A rate analysis) ===")
+    print(f"  {'nodes':>5} {'data':>8} {'time(s)':>9} {'MB/s/node':>10} {'MB/s/mapper':>12}")
+    for n in nodes:
+        data = n * CAL.mappers_per_node * GB
+        result = run_sort_job(n, data, backend=Backend.JAVA_PPE)
+        rate_node = data / result.makespan_s / n / MB
+        print(f"  {n:5d} {data / GB:6.0f}GB {result.makespan_s:9.1f} "
+              f"{rate_node:10.2f} {rate_node / CAL.mappers_per_node:12.2f}")
+    print(f"\n  CPU sort capacity: {CAL.sort_cpu_bw_per_core / MB:.0f} MB/s/core — the")
+    print("  delivered rate is ~an order of magnitude lower, which is the")
+    print("  paper's point about the 2009 Terasort winner (5.5 MB/s/node):")
+    print("  'the effective data bandwidth at which data can be sent to the")
+    print("  mappers was also the limiting factor'.")
+
+
+if __name__ == "__main__":
+    functional_terasort()
+    simulated_sort_rates()

@@ -1,0 +1,23 @@
+"""Result analysis: series, shape checks, ASCII plots, report tables."""
+
+from repro.analysis.series import Series, ascii_chart
+from repro.analysis.shapes import (
+    crossover_x,
+    is_monotonic,
+    log_slope,
+    ratio_between,
+    scaling_efficiency,
+)
+from repro.analysis.report import format_table, paper_comparison_rows
+
+__all__ = [
+    "Series",
+    "ascii_chart",
+    "crossover_x",
+    "format_table",
+    "is_monotonic",
+    "log_slope",
+    "paper_comparison_rows",
+    "ratio_between",
+    "scaling_efficiency",
+]

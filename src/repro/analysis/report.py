@@ -1,0 +1,69 @@
+"""Tabular reporting for the benchmark harness.
+
+Formats the rows each bench prints (the "same rows/series the paper
+reports") and the paper-vs-measured comparison blocks that feed
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional, Sequence
+
+from repro.analysis.series import Series
+
+__all__ = ["format_table", "paper_comparison_rows", "series_table"]
+
+
+def format_table(rows: Sequence[Mapping[str, Any]], columns: Optional[Sequence[str]] = None) -> str:
+    """Render dict rows as a fixed-width text table."""
+    if not rows:
+        return "(empty table)"
+    cols = list(columns) if columns else list(rows[0].keys())
+    cells = [[_fmt(r.get(c, "")) for c in cols] for r in rows]
+    widths = [max(len(c), *(len(row[i]) for row in cells)) for i, c in enumerate(cols)]
+    header = "  ".join(c.ljust(widths[i]) for i, c in enumerate(cols))
+    sep = "  ".join("-" * w for w in widths)
+    body = "\n".join("  ".join(row[i].ljust(widths[i]) for i in range(len(cols))) for row in cells)
+    return f"{header}\n{sep}\n{body}"
+
+
+def _fmt(v: Any) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1e5 or abs(v) < 1e-3:
+            return f"{v:.3e}"
+        return f"{v:.3f}".rstrip("0").rstrip(".")
+    return str(v)
+
+
+def series_table(series: Sequence[Series], x_name: str = "x") -> str:
+    """All curves of one figure on a shared-x table."""
+    if not series:
+        return "(no series)"
+    xs = series[0].xs
+    rows = []
+    for i, x in enumerate(xs):
+        row: dict[str, Any] = {x_name: x}
+        for s in series:
+            row[s.label] = s.ys[i] if i < len(s.ys) else ""
+        rows.append(row)
+    return format_table(rows)
+
+
+def paper_comparison_rows(
+    figure: str,
+    claims: Sequence[tuple[str, str, str, bool]],
+) -> str:
+    """Render (claim, paper_value, measured_value, holds) rows."""
+    rows = [
+        {
+            "figure": figure,
+            "claim": claim,
+            "paper": paper,
+            "measured": measured,
+            "holds": "YES" if holds else "NO",
+        }
+        for claim, paper, measured, holds in claims
+    ]
+    return format_table(rows, columns=["figure", "claim", "paper", "measured", "holds"])

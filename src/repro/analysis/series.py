@@ -1,0 +1,102 @@
+"""Series containers and terminal plotting.
+
+Every benchmark produces :class:`Series` objects — one per figure curve —
+and renders them with :func:`ascii_chart` so a reproduction run shows the
+same log-log shapes the paper's gnuplot figures do, directly in the
+terminal.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+__all__ = ["Series", "ascii_chart"]
+
+
+@dataclass
+class Series:
+    """One labelled curve: parallel x/y vectors plus free metadata."""
+
+    label: str
+    xs: list[float] = field(default_factory=list)
+    ys: list[float] = field(default_factory=list)
+    backend: Any = None
+
+    def __post_init__(self) -> None:
+        if len(self.xs) != len(self.ys):
+            raise ValueError("xs and ys must have equal length")
+
+    def append(self, x: float, y: float) -> None:
+        self.xs.append(float(x))
+        self.ys.append(float(y))
+
+    def y_at(self, x: float) -> float:
+        """Exact-x lookup (benchmark grids are shared across curves)."""
+        for xi, yi in zip(self.xs, self.ys):
+            if xi == x:
+                return yi
+        raise KeyError(f"x={x} not in series {self.label!r}")
+
+    def __len__(self) -> int:
+        return len(self.xs)
+
+    def rows(self) -> list[tuple[float, float]]:
+        return list(zip(self.xs, self.ys))
+
+
+def ascii_chart(
+    series: Sequence[Series],
+    width: int = 72,
+    height: int = 20,
+    logx: bool = True,
+    logy: bool = True,
+    title: str = "",
+    xlabel: str = "x",
+    ylabel: str = "y",
+) -> str:
+    """Render curves as a log-log (by default) ASCII scatter chart."""
+    pts = [(s, x, y) for s in series for x, y in zip(s.xs, s.ys) if y > 0 and x > 0]
+    if not pts:
+        return f"{title}\n(no data)"
+
+    def tx(x: float) -> float:
+        return math.log10(x) if logx else x
+
+    def ty(y: float) -> float:
+        return math.log10(y) if logy else y
+
+    xs = [tx(x) for _s, x, _y in pts]
+    ys = [ty(y) for _s, _x, y in pts]
+    xmin, xmax = min(xs), max(xs)
+    ymin, ymax = min(ys), max(ys)
+    xspan = (xmax - xmin) or 1.0
+    yspan = (ymax - ymin) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    markers = "o+x*#@%&"
+    for si, s in enumerate(series):
+        m = markers[si % len(markers)]
+        for x, y in zip(s.xs, s.ys):
+            if x <= 0 or y <= 0:
+                continue
+            col = int((tx(x) - xmin) / xspan * (width - 1))
+            row = int((ty(y) - ymin) / yspan * (height - 1))
+            grid[height - 1 - row][col] = m
+
+    lines = []
+    if title:
+        lines.append(title)
+    top = 10 ** ymax if logy else ymax
+    bot = 10 ** ymin if logy else ymin
+    lines.append(f"{ylabel} (top={top:.4g}, bottom={bot:.4g})")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    left = 10 ** xmin if logx else xmin
+    right = 10 ** xmax if logx else xmax
+    lines.append(f" {xlabel}: {left:.4g} .. {right:.4g}")
+    legend = "  ".join(f"{markers[i % len(markers)]}={s.label}" for i, s in enumerate(series))
+    lines.append(" legend: " + legend)
+    return "\n".join(lines)

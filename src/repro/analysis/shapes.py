@@ -1,0 +1,81 @@
+"""Shape assertions for reproduced figures.
+
+The reproduction's claims are about *shapes* — who wins, by what factor,
+where crossovers fall, how curves scale. These helpers turn each claim
+into a checkable predicate used by both the benchmark harness and the
+test suite.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from repro.analysis.series import Series
+
+__all__ = [
+    "crossover_x",
+    "is_monotonic",
+    "log_slope",
+    "ratio_between",
+    "scaling_efficiency",
+]
+
+
+def ratio_between(a: Series, b: Series, x: float) -> float:
+    """a(x) / b(x) on a shared grid point."""
+    return a.y_at(x) / b.y_at(x)
+
+
+def crossover_x(a: Series, b: Series) -> Optional[float]:
+    """First shared x where a's y overtakes b's (a >= b), or None.
+
+    Both series must share their x grid in order.
+    """
+    if a.xs != b.xs:
+        raise ValueError("series must share the same x grid")
+    prev_sign = None
+    for x, ya, yb in zip(a.xs, a.ys, b.ys):
+        sign = ya >= yb
+        if sign and prev_sign is False:
+            return x
+        if prev_sign is None and sign:
+            return x
+        prev_sign = sign
+    return None
+
+
+def is_monotonic(values: Sequence[float], increasing: bool = True, tol: float = 0.0) -> bool:
+    """Monotonicity with an absolute slack ``tol`` per step."""
+    for a, b in zip(values, values[1:]):
+        if increasing and b < a - tol:
+            return False
+        if not increasing and b > a + tol:
+            return False
+    return True
+
+
+def log_slope(series: Series, x0: float, x1: float) -> float:
+    """Slope of the curve between two grid points in log-log space.
+
+    A perfectly scaling time-vs-nodes curve has slope -1; a flat
+    (runtime-floor-bound) region has slope ~0.
+    """
+    y0, y1 = series.y_at(x0), series.y_at(x1)
+    if min(x0, x1, y0, y1) <= 0:
+        raise ValueError("log_slope requires positive coordinates")
+    return (math.log10(y1) - math.log10(y0)) / (math.log10(x1) - math.log10(x0))
+
+
+def scaling_efficiency(series: Series, base_x: Optional[float] = None) -> list[float]:
+    """Speedup(x)/x relative to the smallest (or given) configuration,
+    for time-vs-nodes curves. 1.0 = perfect linear scaling."""
+    if len(series) == 0:
+        return []
+    bx = base_x if base_x is not None else series.xs[0]
+    bt = series.y_at(bx)
+    out = []
+    for x, t in zip(series.xs, series.ys):
+        speedup = bt / t if t > 0 else float("inf")
+        out.append(speedup / (x / bx))
+    return out

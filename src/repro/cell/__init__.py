@@ -1,0 +1,53 @@
+"""Cell Broadband Engine model.
+
+Models the paper's accelerator (§II-B): one PPE plus eight SPEs per
+socket, each SPE with a 256 KB local store fed by a DMA engine that
+supports at most 16 concurrent requests of at most 16 KB, over a bus
+moving 8 bytes/cycle in each direction, with 16-byte SIMD alignment
+rules.
+
+Two offload runtimes mirror the paper's two native libraries (§III-B):
+
+- :class:`~repro.cell.runtime.DirectSPERuntime` — "a simple runtime that
+  allows us to divide and execute task on the SPUs" (the pthread-style
+  direct implementation; fastest curve in Fig. 2).
+- :class:`~repro.cell.runtime.CellMapReduceRuntime` — "a proxy to an
+  existing MapReduce framework for the Cell processor" (de Kruijf &
+  Sankaralingam), whose PPE-side input copy costs it the gap seen in
+  Fig. 2.
+"""
+
+from repro.cell.localstore import LocalStore, LocalStoreOverflow
+from repro.cell.dma import DMAEngine, DMARequestError, DMAStats
+from repro.cell.simd import (
+    SIMDAlignmentError,
+    check_alignment,
+    pad_to_vector,
+    vector_op_count,
+)
+from repro.cell.processor import PPE, SPE, CellProcessor
+from repro.cell.runtime import (
+    CellMapReduceRuntime,
+    DirectSPERuntime,
+    OffloadResult,
+    OffloadRuntime,
+)
+
+__all__ = [
+    "CellMapReduceRuntime",
+    "CellProcessor",
+    "DMAEngine",
+    "DMARequestError",
+    "DMAStats",
+    "DirectSPERuntime",
+    "LocalStore",
+    "LocalStoreOverflow",
+    "OffloadResult",
+    "OffloadRuntime",
+    "PPE",
+    "SIMDAlignmentError",
+    "SPE",
+    "check_alignment",
+    "pad_to_vector",
+    "vector_op_count",
+]

@@ -1,0 +1,118 @@
+"""SPE local-store allocator.
+
+Each SPE owns a 256 KB local store addressed with 18-bit addresses
+(§II-B). SPE code, stack, and all DMA buffers live there; there is no
+cache and no fallback to system memory. The allocator enforces the
+capacity and the 16-byte alignment the SIMD unit requires, so a runtime
+configured with too-large chunks fails exactly the way real SPE code
+does — at buffer allocation time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+__all__ = ["LocalStore", "LocalStoreOverflow"]
+
+LS_SIZE = 256 * 1024
+LS_ALIGN = 16
+
+
+class LocalStoreOverflow(MemoryError):
+    """Requested allocation does not fit in the SPE local store."""
+
+
+def _align_up(value: int, align: int) -> int:
+    return (value + align - 1) & ~(align - 1)
+
+
+class LocalStore:
+    """A bump-pointer allocator with named regions and explicit free.
+
+    Freeing coalesces only at the tail (real SPE code allocates buffer
+    sets for a kernel's lifetime, so fragmentation is not interesting to
+    model; what matters is the hard capacity check).
+
+    Parameters
+    ----------
+    size_bytes:
+        Store capacity (default 256 KB per §II-B).
+    reserved_bytes:
+        Space pre-claimed for SPE code + stack; the paper's kernels are
+        a few tens of KB of code, and real SPE ABIs reserve stack at the
+        top of the store.
+    """
+
+    def __init__(self, size_bytes: int = LS_SIZE, reserved_bytes: int = 48 * 1024):
+        if size_bytes <= 0:
+            raise ValueError("size must be positive")
+        if not 0 <= reserved_bytes < size_bytes:
+            raise ValueError("reserved must be within [0, size)")
+        self.size_bytes = size_bytes
+        self.reserved_bytes = reserved_bytes
+        self._next = _align_up(reserved_bytes, LS_ALIGN)
+        self._regions: Dict[str, tuple[int, int]] = {}  # name -> (offset, size)
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently allocated (including code/stack reserve)."""
+        return self._next
+
+    @property
+    def free_bytes(self) -> int:
+        return self.size_bytes - self._next
+
+    def alloc(self, name: str, nbytes: int, align: int = LS_ALIGN) -> int:
+        """Allocate ``nbytes`` under ``name``; returns the LS offset.
+
+        Raises
+        ------
+        LocalStoreOverflow
+            If the region does not fit.
+        ValueError
+            For duplicate names or bad alignment.
+        """
+        if name in self._regions:
+            raise ValueError(f"region {name!r} already allocated")
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if align < 1 or (align & (align - 1)):
+            raise ValueError(f"alignment must be a power of two, got {align}")
+        offset = _align_up(self._next, align)
+        if offset + nbytes > self.size_bytes:
+            raise LocalStoreOverflow(
+                f"cannot allocate {nbytes} bytes for {name!r}: "
+                f"{self.free_bytes} bytes free of {self.size_bytes}"
+            )
+        self._regions[name] = (offset, nbytes)
+        self._next = offset + nbytes
+        return offset
+
+    def free(self, name: str) -> None:
+        """Release a region; tail regions return space to the allocator."""
+        try:
+            offset, nbytes = self._regions.pop(name)
+        except KeyError:
+            raise KeyError(f"no region named {name!r}") from None
+        if offset + nbytes >= self._next - (LS_ALIGN - 1):
+            # Tail region: roll the bump pointer back to the highest
+            # remaining region end (or the reserve).
+            high = _align_up(self.reserved_bytes, LS_ALIGN)
+            for off, size in self._regions.values():
+                high = max(high, off + size)
+            self._next = high
+
+    def region(self, name: str) -> Optional[tuple[int, int]]:
+        """(offset, size) of a region, or None."""
+        return self._regions.get(name)
+
+    def reset(self) -> None:
+        """Free all regions (kernel teardown)."""
+        self._regions.clear()
+        self._next = _align_up(self.reserved_bytes, LS_ALIGN)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._regions
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<LocalStore {self.used_bytes}/{self.size_bytes} regions={len(self._regions)}>"

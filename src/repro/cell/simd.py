@@ -1,0 +1,65 @@
+"""SIMD rules and cost helpers for SPE kernels.
+
+The Cell "supports vector operations that operate on memory contiguous
+data sets of 16 bytes ... the Cell architecture requires every vector
+operation to operate with aligned data to 16-byte memory boundaries"
+(§II-B). Functional kernels running "on" a simulated SPE go through
+these checks so that a kernel violating the alignment contract fails in
+the reproduction exactly where it would fail on hardware.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "SIMDAlignmentError",
+    "VECTOR_BYTES",
+    "check_alignment",
+    "pad_to_vector",
+    "vector_op_count",
+]
+
+VECTOR_BYTES = 16
+
+
+class SIMDAlignmentError(ValueError):
+    """Data handed to a SIMD kernel violates the 16-byte rules."""
+
+
+def check_alignment(nbytes: int, offset: int = 0) -> None:
+    """Validate a (length, offset) pair for vector processing.
+
+    Both the starting offset and the length must be multiples of the
+    16-byte vector size; SPE kernels process whole quadwords.
+    """
+    if offset % VECTOR_BYTES != 0:
+        raise SIMDAlignmentError(f"offset {offset} is not {VECTOR_BYTES}-byte aligned")
+    if nbytes % VECTOR_BYTES != 0:
+        raise SIMDAlignmentError(
+            f"length {nbytes} is not a multiple of the {VECTOR_BYTES}-byte vector size"
+        )
+
+
+def pad_to_vector(data: bytes | np.ndarray, pad_value: int = 0) -> np.ndarray:
+    """Zero-pad a byte buffer up to the next vector boundary.
+
+    Returns a ``uint8`` array whose length is a multiple of 16. Kernels
+    that need exact-length output must track the original length
+    themselves (AES-CTR does; AES-ECB requires multiple-of-16 input by
+    construction).
+    """
+    arr = np.frombuffer(data, dtype=np.uint8) if isinstance(data, (bytes, bytearray)) else np.asarray(data, dtype=np.uint8)
+    rem = arr.size % VECTOR_BYTES
+    if rem == 0:
+        return arr.copy()
+    out = np.full(arr.size + (VECTOR_BYTES - rem), pad_value, dtype=np.uint8)
+    out[: arr.size] = arr
+    return out
+
+
+def vector_op_count(nbytes: int) -> int:
+    """Number of quadword operations to touch ``nbytes`` once."""
+    if nbytes < 0:
+        raise ValueError("nbytes must be non-negative")
+    return -(-nbytes // VECTOR_BYTES)

@@ -1,0 +1,230 @@
+"""Command-line interface for the reproduction.
+
+Run paper experiments and ad-hoc jobs without writing code::
+
+    python -m repro fig2                     # raw encryption figure
+    python -m repro fig5 --data-gb 60        # fixed-dataset sweep
+    python -m repro fig8 --samples 1e11
+    python -m repro encrypt --nodes 16 --data-gb 32 --backend cell
+    python -m repro pi --nodes 50 --samples 3e12 --backend java
+    python -m repro info                     # calibration summary
+
+Output is the same series-table + ASCII chart format the benchmark
+harness prints.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis import Series, ascii_chart
+from repro.analysis.report import format_table, series_table
+from repro.perf import Backend, PAPER_CALIBRATION
+from repro.perf.calibration import GB, MB
+from repro.core import (
+    raw_encryption_bandwidth,
+    raw_pi_rates,
+    run_empty_job,
+    run_encryption_job,
+    run_pi_job,
+)
+from repro.hadoop.metrics import analyze_job
+
+__all__ = ["main", "build_parser"]
+
+BACKENDS = {
+    "java": Backend.JAVA_PPE,
+    "java-ppe": Backend.JAVA_PPE,
+    "java-power6": Backend.JAVA_POWER6,
+    "cell": Backend.CELL_SPE_DIRECT,
+    "cell-mr": Backend.CELL_SPE_MAPREDUCE,
+    "empty": Backend.EMPTY,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Speeding Up Distributed MapReduce "
+        "Applications Using Hardware Accelerators' (ICPP 2009)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="print the calibration profile")
+
+    sub.add_parser("fig2", help="raw node encryption bandwidth (Fig. 2)")
+    sub.add_parser("fig6", help="raw node Pi rates (Fig. 6)")
+
+    p4 = sub.add_parser("fig4", help="proportional-dataset encryption (Fig. 4)")
+    p4.add_argument("--nodes", type=int, nargs="*", default=[12, 24, 36, 48, 60])
+
+    p5 = sub.add_parser("fig5", help="fixed-dataset encryption (Fig. 5)")
+    p5.add_argument("--nodes", type=int, nargs="*", default=[4, 8, 16, 32, 64])
+    p5.add_argument("--data-gb", type=float, default=120.0)
+
+    p7 = sub.add_parser("fig7", help="distributed Pi sample sweep (Fig. 7)")
+    p7.add_argument("--nodes", type=int, default=50)
+    p7.add_argument(
+        "--samples", type=float, nargs="*",
+        default=[3e3, 3e5, 3e7, 3e9, 3e11, 3e12],
+    )
+
+    p8 = sub.add_parser("fig8", help="distributed Pi node scaling (Fig. 8)")
+    p8.add_argument("--nodes", type=int, nargs="*", default=[4, 8, 16, 32, 64])
+    p8.add_argument("--samples", type=float, default=1e11)
+
+    pe = sub.add_parser("encrypt", help="one distributed encryption job")
+    pe.add_argument("--nodes", type=int, default=8)
+    pe.add_argument("--data-gb", type=float, default=16.0)
+    pe.add_argument("--backend", choices=sorted(BACKENDS), default="cell")
+    pe.add_argument("--seed", type=int, default=1234)
+
+    pp = sub.add_parser("pi", help="one distributed Pi job")
+    pp.add_argument("--nodes", type=int, default=8)
+    pp.add_argument("--samples", type=float, default=1e10)
+    pp.add_argument("--backend", choices=sorted(BACKENDS), default="cell")
+    pp.add_argument("--seed", type=int, default=1234)
+
+    return parser
+
+
+def _print_series(series: list[Series], x_name: str, ylabel: str, title: str, out) -> None:
+    print(title, file=out)
+    print(series_table(series, x_name=x_name), file=out)
+    print(file=out)
+    print(ascii_chart(series, title=title, xlabel=x_name, ylabel=ylabel), file=out)
+
+
+def _cmd_info(out) -> int:
+    calib = PAPER_CALIBRATION
+    rows = [
+        {"parameter": "AES Cell direct plateau", "value": f"{calib.aes_cell_direct_bw / MB:.0f} MB/s"},
+        {"parameter": "AES MR-Cell plateau", "value": f"{calib.aes_cell_mr_bw / MB:.0f} MB/s"},
+        {"parameter": "AES Power6", "value": f"{calib.aes_power6_bw / MB:.0f} MB/s"},
+        {"parameter": "AES PPE", "value": f"{calib.aes_ppe_bw / MB:.0f} MB/s"},
+        {"parameter": "Pi Cell rate", "value": f"{calib.pi_cell_rate:.2e} samples/s"},
+        {"parameter": "Pi Power6 rate", "value": f"{calib.pi_power6_rate:.2e} samples/s"},
+        {"parameter": "Pi PPE rate", "value": f"{calib.pi_ppe_rate:.2e} samples/s"},
+        {"parameter": "SPU init overhead", "value": f"{calib.pi_spu_init_s} s"},
+        {"parameter": "RecordReader stream", "value": f"{calib.recordreader_stream_bw / MB:.0f} MB/s"},
+        {"parameter": "HDFS block / record", "value": f"{calib.hdfs_block_bytes / MB:.0f} MB"},
+        {"parameter": "SPU chunk", "value": f"{calib.cell_chunk_bytes} B"},
+        {"parameter": "mappers per blade", "value": str(calib.mappers_per_node)},
+        {"parameter": "heartbeat interval", "value": f"{calib.heartbeat_interval_s} s"},
+        {"parameter": "GigE effective", "value": f"{calib.gige_bw / MB:.0f} MB/s"},
+    ]
+    print(format_table(rows), file=out)
+    return 0
+
+
+def _cmd_fig4(nodes, out) -> int:
+    calib = PAPER_CALIBRATION
+    series = []
+    for label, backend in (("Java Mapper", Backend.JAVA_PPE),
+                           ("Cell BE Mapper", Backend.CELL_SPE_DIRECT)):
+        s = Series(label)
+        for n in nodes:
+            r = run_encryption_job(n, n * calib.mappers_per_node * GB, backend)
+            s.append(n, r.makespan_s)
+        series.append(s)
+    _print_series(series, "Nodes", "Time (s)", "Fig. 4: 1 GB per mapper", out)
+    return 0
+
+
+def _cmd_fig5(nodes, data_gb, out) -> int:
+    series = []
+    for label, backend in (("Empty Mapper", Backend.EMPTY),
+                           ("Java Mapper", Backend.JAVA_PPE),
+                           ("Cell Mapper", Backend.CELL_SPE_DIRECT)):
+        s = Series(label)
+        for n in nodes:
+            r = (run_empty_job(n, data_gb * GB) if backend is Backend.EMPTY
+                 else run_encryption_job(n, data_gb * GB, backend))
+            s.append(n, r.makespan_s)
+        series.append(s)
+    _print_series(series, "Nodes", "Time (s)", f"Fig. 5: {data_gb:.0f} GB fixed", out)
+    return 0
+
+
+def _cmd_fig7(nodes, samples, out) -> int:
+    series = []
+    for label, backend in (("Java Mapper", Backend.JAVA_PPE),
+                           ("Cell BE Mapper", Backend.CELL_SPE_DIRECT)):
+        s = Series(label)
+        for c in samples:
+            r = run_pi_job(nodes, c, backend)
+            s.append(c, r.makespan_s)
+        series.append(s)
+    _print_series(series, "Samples", "Time (s)", f"Fig. 7: Pi on {nodes} nodes", out)
+    return 0
+
+
+def _cmd_fig8(nodes, samples, out) -> int:
+    series = []
+    for label, backend, mult in (
+        ("Java Mapper", Backend.JAVA_PPE, 1),
+        ("Cell BE Mapper", Backend.CELL_SPE_DIRECT, 1),
+        ("Cell BE Mapper (10x)", Backend.CELL_SPE_DIRECT, 10),
+    ):
+        s = Series(label)
+        for n in nodes:
+            r = run_pi_job(n, samples * mult, backend)
+            s.append(n, r.makespan_s)
+        series.append(s)
+    _print_series(series, "Nodes", "Time (s)", f"Fig. 8: Pi of {samples:.0e} samples", out)
+    return 0
+
+
+def _cmd_encrypt(args, out) -> int:
+    backend = BACKENDS[args.backend]
+    if backend is Backend.EMPTY:
+        result = run_empty_job(args.nodes, args.data_gb * GB, seed=args.seed)
+    else:
+        result = run_encryption_job(args.nodes, args.data_gb * GB, backend, seed=args.seed)
+    _print_job(result, out)
+    return 0 if result.succeeded else 1
+
+
+def _cmd_pi(args, out) -> int:
+    result = run_pi_job(args.nodes, args.samples, BACKENDS[args.backend], seed=args.seed)
+    _print_job(result, out)
+    return 0 if result.succeeded else 1
+
+
+def _print_job(result, out) -> None:
+    print(format_table([result.summary()]), file=out)
+    breakdown = analyze_job(result, PAPER_CALIBRATION)
+    print(file=out)
+    print(format_table([breakdown.summary()]), file=out)
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "info":
+        return _cmd_info(out)
+    if args.command == "fig2":
+        _print_series(raw_encryption_bandwidth(), "Size(MB)", "MB/s", "Fig. 2", out)
+        return 0
+    if args.command == "fig6":
+        _print_series(raw_pi_rates(), "Samples", "Samples/sec", "Fig. 6", out)
+        return 0
+    if args.command == "fig4":
+        return _cmd_fig4(args.nodes, out)
+    if args.command == "fig5":
+        return _cmd_fig5(args.nodes, args.data_gb, out)
+    if args.command == "fig7":
+        return _cmd_fig7(args.nodes, args.samples, out)
+    if args.command == "fig8":
+        return _cmd_fig8(args.nodes, args.samples, out)
+    if args.command == "encrypt":
+        return _cmd_encrypt(args, out)
+    if args.command == "pi":
+        return _cmd_pi(args, out)
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

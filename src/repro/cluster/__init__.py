@@ -1,0 +1,26 @@
+"""Simulated cluster hardware.
+
+Models the MareIncognito-style testbed of the paper: IBM QS22 Cell
+blades (workers) plus one JS22 Power6 blade (master), a Gigabit-Ethernet
+switch, per-node disks, NICs, and the loopback interface that carries
+the DataNode→TaskTracker traffic the paper found so costly.
+"""
+
+from repro.cluster.node import CPUSpec, Node, NodeSpec, JS22_SPEC, QS22_SPEC
+from repro.cluster.disk import Disk
+from repro.cluster.network import Network, NetworkInterface
+from repro.cluster.topology import Cluster, ClusterSpec, build_cluster
+
+__all__ = [
+    "CPUSpec",
+    "Cluster",
+    "ClusterSpec",
+    "Disk",
+    "JS22_SPEC",
+    "Network",
+    "NetworkInterface",
+    "Node",
+    "NodeSpec",
+    "QS22_SPEC",
+    "build_cluster",
+]

@@ -1,0 +1,109 @@
+"""Cluster network: per-node NICs and a shared switch backplane.
+
+A remote transfer crosses three stages — source NIC, switch backplane,
+destination NIC — each a bandwidth-limited channel. Same-node transfers
+cross the node's loopback interface instead (see
+:class:`repro.cluster.node.Node`), matching the paper's observation that
+DataNode→TaskTracker traffic uses loopback even when data is local.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from repro.perf.calibration import CalibrationProfile, PAPER_CALIBRATION
+from repro.sim.engine import Environment
+from repro.sim.pipes import Pipe, SharedPipe
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.node import Node
+
+__all__ = ["Network", "NetworkInterface"]
+
+
+class NetworkInterface:
+    """A full-duplex GigE NIC: independent TX and RX channels."""
+
+    def __init__(self, env: Environment, bandwidth_bps: float, latency_s: float, name: str):
+        self.env = env
+        self.name = name
+        self.tx = Pipe(env, bandwidth_bps, latency_s=latency_s, name=f"{name}/tx")
+        self.rx = Pipe(env, bandwidth_bps, latency_s=latency_s, name=f"{name}/rx")
+
+    @property
+    def bytes_sent(self) -> float:
+        return self.tx.bytes_transferred
+
+    @property
+    def bytes_received(self) -> float:
+        return self.rx.bytes_transferred
+
+
+class Network:
+    """The cluster interconnect.
+
+    Owns one :class:`NetworkInterface` per node plus the shared switch
+    backplane. :meth:`transfer` composes the right sequence of channels
+    for a (src, dst) pair.
+    """
+
+    def __init__(self, env: Environment, calib: CalibrationProfile = PAPER_CALIBRATION):
+        self.env = env
+        self.calib = calib
+        self._nics: dict[int, NetworkInterface] = {}
+        self.backplane = SharedPipe(
+            env,
+            bandwidth_bps=calib.switch_backplane_bw,
+            latency_s=calib.gige_latency_s,
+            quantum_bytes=8 * 1024 * 1024,
+            name="switch",
+        )
+        self.remote_bytes = 0.0
+        self.local_bytes = 0.0
+
+    def attach(self, node: "Node") -> NetworkInterface:
+        """Create and register the NIC for ``node``."""
+        if node.node_id in self._nics:
+            raise ValueError(f"node {node.node_id} already attached")
+        nic = NetworkInterface(
+            self.env,
+            bandwidth_bps=self.calib.gige_bw,
+            latency_s=self.calib.gige_latency_s,
+            name=f"{node.hostname}/eth0",
+        )
+        self._nics[node.node_id] = nic
+        return nic
+
+    def nic(self, node_id: int) -> NetworkInterface:
+        return self._nics[node_id]
+
+    def transfer(self, src: "Node", dst: "Node", nbytes: float) -> Generator:
+        """Process: move ``nbytes`` from ``src`` to ``dst``.
+
+        Same-node transfers use the node's loopback pipe; remote ones
+        serialize through src TX → backplane → dst RX. Pipelining across
+        the three stages is approximated by charging the full size to
+        each stage but only the slowest stage's queueing matters in
+        practice (the NICs are the narrow links).
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if src.node_id == dst.node_id:
+            yield from src.loopback.transfer(nbytes)
+            self.local_bytes += nbytes
+            return nbytes
+        src_nic = self._nics[src.node_id]
+        dst_nic = self._nics[dst.node_id]
+        # Hold TX for the duration; backplane and RX are traversed in
+        # store-and-forward fashion at block granularity.
+        yield from src_nic.tx.transfer(nbytes)
+        yield from self.backplane.transfer(nbytes)
+        yield from dst_nic.rx.transfer(nbytes)
+        self.remote_bytes += nbytes
+        return nbytes
+
+    def transfer_time_estimate(self, remote: bool, nbytes: float) -> float:
+        """Uncontended estimate (used by schedulers for locality decisions)."""
+        if not remote:
+            return nbytes / self.calib.loopback_bw
+        return 3 * self.calib.gige_latency_s + 3 * nbytes / self.calib.gige_bw

@@ -1,0 +1,144 @@
+"""Node and blade specifications.
+
+The testbed of the paper (§IV): "a 66 IBM QS22 blades cluster, each one
+equipped with 2x 3.2Ghz Cell processors and 8GB of RAM ... We also used
+one IBM's JS22 blade equipped with 4x4.0Ghz Power 6 processor and 8GB of
+memory to run the Hadoop JobTracker and Namenodes."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.perf.calibration import GB, CalibrationProfile, PAPER_CALIBRATION
+from repro.sim.engine import Environment
+from repro.sim.pipes import Pipe
+from repro.sim.resources import Resource
+
+from repro.cluster.disk import Disk
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cell.processor import CellProcessor
+
+__all__ = ["CPUSpec", "NodeSpec", "Node", "QS22_SPEC", "JS22_SPEC"]
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """One processor socket."""
+
+    model: str
+    clock_hz: float
+    cores: int
+    is_cell: bool = False
+    """True for Cell BE sockets (PPE + 8 SPEs behind one socket)."""
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """A blade model: sockets, memory, storage, network."""
+
+    name: str
+    cpus: tuple[CPUSpec, ...]
+    memory_bytes: int
+    has_accelerator: bool = False
+
+    @property
+    def total_cores(self) -> int:
+        return sum(c.cores for c in self.cpus)
+
+    @property
+    def cell_sockets(self) -> int:
+        return sum(1 for c in self.cpus if c.is_cell)
+
+
+QS22_SPEC = NodeSpec(
+    name="IBM-QS22",
+    cpus=(
+        CPUSpec(model="CellBE", clock_hz=3.2e9, cores=1, is_cell=True),
+        CPUSpec(model="CellBE", clock_hz=3.2e9, cores=1, is_cell=True),
+    ),
+    memory_bytes=8 * GB,
+    has_accelerator=True,
+)
+"""Worker blade: 2x 3.2 GHz Cell BE, 8 GB RAM."""
+
+JS22_SPEC = NodeSpec(
+    name="IBM-JS22",
+    cpus=(CPUSpec(model="Power6", clock_hz=4.0e9, cores=4, is_cell=False),),
+    memory_bytes=8 * GB,
+    has_accelerator=False,
+)
+"""Master blade: 4x 4.0 GHz Power6 cores, 8 GB RAM."""
+
+
+class Node:
+    """A simulated blade: CPU slots, disk, NIC, loopback, accelerators.
+
+    Parameters
+    ----------
+    env: simulation environment.
+    node_id: unique integer id within the cluster.
+    spec: the blade model.
+    calib: calibration profile for the hardware rates.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        node_id: int,
+        spec: NodeSpec,
+        calib: CalibrationProfile = PAPER_CALIBRATION,
+    ):
+        self.env = env
+        self.node_id = node_id
+        self.spec = spec
+        self.calib = calib
+        self.hostname = f"{spec.name.lower()}-{node_id:03d}"
+
+        # General-purpose core slots (PPEs on a QS22, Power6 cores on JS22).
+        ppe_count = spec.cell_sockets if spec.cell_sockets else spec.total_cores
+        self.cpu = Resource(env, capacity=ppe_count)
+
+        self.disk = Disk(
+            env,
+            bandwidth_bps=calib.disk_bw,
+            seek_s=calib.disk_seek_s,
+            name=f"{self.hostname}/disk",
+        )
+
+        # Loopback interface: DataNode <-> TaskTracker traffic on the same
+        # blade crosses this (the paper's measured bottleneck path).
+        self.loopback = Pipe(
+            env,
+            bandwidth_bps=calib.loopback_bw,
+            latency_s=20e-6,
+            name=f"{self.hostname}/lo",
+        )
+
+        # Attached accelerators (populated by the topology builder for
+        # accelerator-enabled nodes): Cell sockets and/or extension GPUs.
+        self.cells: list["CellProcessor"] = []
+        self.gpus: list = []
+
+        # Kernel-busy accounting for the energy model.
+        self.kernel_busy_s = 0.0
+
+        # Straggler modeling: >1.0 slows this blade's kernels (thermal
+        # throttling, background load, failing DIMM — the conditions
+        # speculative execution exists for).
+        self.speed_factor = 1.0
+
+    @property
+    def has_accelerator(self) -> bool:
+        return self.spec.has_accelerator and bool(self.cells)
+
+    def record_kernel_busy(self, seconds: float) -> None:
+        """Accumulate accelerator/CPU kernel-active time (energy model)."""
+        if seconds < 0:
+            raise ValueError("seconds must be non-negative")
+        self.kernel_busy_s += seconds
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Node {self.hostname} cells={len(self.cells)}>"

@@ -1,0 +1,42 @@
+"""The paper's contribution: a two-level MapReduce execution environment.
+
+Public API:
+
+- :func:`~repro.core.simexec.run_encryption_job`,
+  :func:`~repro.core.simexec.run_pi_job`,
+  :func:`~repro.core.simexec.run_empty_job`,
+  :func:`~repro.core.simexec.run_sort_job` — full-stack simulated jobs
+  (cluster + HDFS + Hadoop runtime + node-level accelerator offload),
+  the engines behind Figs. 4, 5, 7, 8.
+- :func:`~repro.core.raw.raw_encryption_bandwidth`,
+  :func:`~repro.core.raw.raw_pi_rates` — single-node raw kernel
+  experiments with no distributed middleware (Figs. 2 and 6).
+- :class:`~repro.core.local.LocalExecutor` — a functional, in-process
+  MapReduce engine over real data (map → shuffle → sort → reduce).
+- :class:`~repro.core.twolevel.TwoLevelEncryptor` — the functional
+  two-level pipeline: Hadoop-style records, Cell-style 4 KB chunks,
+  real AES bytes end to end.
+"""
+
+from repro.core.local import LocalExecutor
+from repro.core.raw import raw_encryption_bandwidth, raw_pi_rates
+from repro.core.simexec import (
+    SimulatedCluster,
+    run_empty_job,
+    run_encryption_job,
+    run_pi_job,
+    run_sort_job,
+)
+from repro.core.twolevel import TwoLevelEncryptor
+
+__all__ = [
+    "LocalExecutor",
+    "SimulatedCluster",
+    "TwoLevelEncryptor",
+    "raw_encryption_bandwidth",
+    "raw_pi_rates",
+    "run_empty_job",
+    "run_encryption_job",
+    "run_pi_job",
+    "run_sort_job",
+]

@@ -1,0 +1,114 @@
+"""A functional, in-process MapReduce engine.
+
+Executes real map()/reduce() functions over real data with Hadoop
+semantics: map emits key/value pairs, an optional combiner folds them
+per-mapper, pairs are hash-partitioned, sorted by key within each
+partition, grouped, and reduced. Deterministic: the same input always
+produces the same output in the same order.
+
+This is the semantic reference the simulated runtime is tested against,
+and the engine behind the quickstart/wordcount examples.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections import defaultdict
+from typing import Any, Callable, Iterable, Optional
+
+__all__ = ["LocalExecutor"]
+
+MapFn = Callable[[Any, Any, Callable[[Any, Any], None]], None]
+ReduceFn = Callable[[Any, list, Callable[[Any, Any], None]], None]
+
+
+def _stable_hash(key: Any) -> int:
+    """Deterministic across processes (unlike built-in ``hash`` for str)."""
+    data = key if isinstance(key, bytes) else repr(key).encode("utf-8")
+    return zlib.crc32(data)
+
+
+class LocalExecutor:
+    """Run MapReduce jobs in-process.
+
+    Parameters
+    ----------
+    num_reducers:
+        Number of reduce partitions (parallelism is simulated only in
+        partitioning semantics; execution is serial and deterministic).
+    """
+
+    def __init__(self, num_reducers: int = 1):
+        if num_reducers < 1:
+            raise ValueError("num_reducers must be >= 1")
+        self.num_reducers = num_reducers
+        self.counters: dict[str, int] = defaultdict(int)
+
+    # -- phases -----------------------------------------------------------------
+    def map_phase(self, inputs: Iterable[tuple[Any, Any]], map_fn: MapFn,
+                  combiner: Optional[ReduceFn] = None) -> list[list[tuple[Any, Any]]]:
+        """Run map() over all inputs; returns per-partition pair lists."""
+        partitions: list[list[tuple[Any, Any]]] = [[] for _ in range(self.num_reducers)]
+        staged: list[tuple[Any, Any]] = []
+
+        def emit(k: Any, v: Any) -> None:
+            staged.append((k, v))
+            self.counters["map_output_records"] += 1
+
+        for key, value in inputs:
+            self.counters["map_input_records"] += 1
+            map_fn(key, value, emit)
+
+        if combiner is not None:
+            staged = self._combine(staged, combiner)
+
+        for k, v in staged:
+            partitions[_stable_hash(k) % self.num_reducers].append((k, v))
+        return partitions
+
+    def _combine(self, pairs: list[tuple[Any, Any]], combiner: ReduceFn) -> list[tuple[Any, Any]]:
+        grouped: dict[Any, list] = defaultdict(list)
+        for k, v in pairs:
+            grouped[k].append(v)
+        out: list[tuple[Any, Any]] = []
+
+        def emit(k: Any, v: Any) -> None:
+            out.append((k, v))
+            self.counters["combine_output_records"] += 1
+
+        for k in sorted(grouped, key=repr):
+            combiner(k, grouped[k], emit)
+        return out
+
+    def reduce_phase(self, partitions: list[list[tuple[Any, Any]]],
+                     reduce_fn: ReduceFn) -> list[tuple[Any, Any]]:
+        """Sort/group each partition and reduce; returns all output pairs."""
+        output: list[tuple[Any, Any]] = []
+
+        def emit(k: Any, v: Any) -> None:
+            output.append((k, v))
+            self.counters["reduce_output_records"] += 1
+
+        for part in partitions:
+            grouped: dict[Any, list] = defaultdict(list)
+            for k, v in sorted(part, key=lambda kv: repr(kv[0])):
+                grouped[k].append(v)
+            for k in sorted(grouped, key=repr):
+                self.counters["reduce_input_groups"] += 1
+                reduce_fn(k, grouped[k], emit)
+        return output
+
+    # -- entry point ------------------------------------------------------------------
+    def run(
+        self,
+        inputs: Iterable[tuple[Any, Any]],
+        map_fn: MapFn,
+        reduce_fn: Optional[ReduceFn] = None,
+        combiner: Optional[ReduceFn] = None,
+    ) -> list[tuple[Any, Any]]:
+        """Execute a full job; map-only when ``reduce_fn`` is None."""
+        partitions = self.map_phase(inputs, map_fn, combiner)
+        if reduce_fn is None:
+            flat = [kv for part in partitions for kv in part]
+            return sorted(flat, key=lambda kv: repr(kv[0]))
+        return self.reduce_phase(partitions, reduce_fn)

@@ -1,0 +1,261 @@
+"""Full-stack simulated job execution.
+
+Wires the complete prototype: cluster hardware → HDFS (NameNode on the
+master, a DataNode per worker) → Hadoop runtime (JobTracker on the
+master, a TaskTracker per worker) → per-node kernel backends. These are
+the engines behind every distributed figure (4, 5, 7, 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.perf.calibration import Backend, CalibrationProfile, GB, PAPER_CALIBRATION
+from repro.perf.energy import EnergyModel
+from repro.cluster.topology import Cluster, ClusterSpec
+from repro.hadoop.config import JobConf
+from repro.hadoop.job import Job, JobResult
+from repro.hadoop.jobtracker import JobTracker
+from repro.hadoop.tasktracker import TaskTracker
+from repro.hdfs.client import HDFSClient
+from repro.hdfs.datanode import DataNode
+from repro.hdfs.namenode import NameNode
+from repro.hdfs.replication import ReplicationManager
+from repro.sim.engine import Environment
+
+__all__ = [
+    "SimulatedCluster",
+    "run_empty_job",
+    "run_encryption_job",
+    "run_pi_job",
+    "run_sort_job",
+]
+
+
+class SimulatedCluster:
+    """A ready-to-use cluster: hardware + HDFS + Hadoop daemons.
+
+    Parameters
+    ----------
+    worker_nodes: number of QS22 worker blades.
+    calib: calibration profile.
+    seed: root seed for all stochastic elements.
+    trace: retain trace records (costly at scale).
+    accelerated_fraction: fraction of workers with Cell sockets (§V
+        heterogeneity ablation).
+    """
+
+    def __init__(
+        self,
+        worker_nodes: int,
+        calib: CalibrationProfile = PAPER_CALIBRATION,
+        seed: int = 1234,
+        trace: bool = False,
+        accelerated_fraction: float = 1.0,
+        gpu_fraction: float = 0.0,
+        slow_nodes: Optional[dict[int, float]] = None,
+        replication_manager: bool = False,
+    ):
+        self.env = Environment()
+        self.calib = calib
+        spec = ClusterSpec(
+            worker_nodes=worker_nodes,
+            seed=seed,
+            trace=trace,
+            accelerated_fraction=accelerated_fraction,
+            gpu_fraction=gpu_fraction,
+        )
+        self.cluster = Cluster(self.env, spec, calib)
+        # HDFS: NameNode on the master blade, one DataNode per worker.
+        self.namenode = NameNode(
+            self.env,
+            block_size=calib.hdfs_block_bytes,
+            replication=calib.hdfs_replication,
+            rng=self.cluster.rng,
+        )
+        for worker in self.cluster.workers:
+            self.namenode.register_datanode(DataNode(worker, self.cluster.network))
+        self.client = HDFSClient(self.namenode)
+        # Hadoop: JobTracker on the master, TaskTracker per worker.
+        self.jobtracker = JobTracker(self.cluster, self.client)
+        self.trackers = [TaskTracker(self.jobtracker, w) for w in self.cluster.workers]
+        # Straggler injection: {node_id: slowdown_factor}.
+        for node_id, factor in (slow_nodes or {}).items():
+            if factor <= 0:
+                raise ValueError("slowdown factor must be positive")
+            self.cluster.node_by_id(node_id).speed_factor = factor
+        self.replication_manager = (
+            ReplicationManager(self.namenode) if replication_manager else None
+        )
+        self._started = False
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        self.jobtracker.start()
+        for tt in self.trackers:
+            tt.start()
+        if self.replication_manager is not None:
+            self.replication_manager.start()
+
+    # -- dynamic membership (§V: dynamically variable environments) -----------
+    def add_worker_now(self, accelerated: bool = True) -> TaskTracker:
+        """Join a fresh worker blade to the running cluster: hardware,
+        DataNode, TaskTracker — it starts heartbeating immediately and
+        the JobTracker will feed it on its first report."""
+        node = self.cluster.add_worker(accelerated=accelerated)
+        self.namenode.register_datanode(DataNode(node, self.cluster.network))
+        tracker = TaskTracker(self.jobtracker, node)
+        self.trackers.append(tracker)
+        if self._started:
+            tracker.start()
+        return tracker
+
+    def add_worker_at(self, at_time: float, accelerated: bool = True) -> None:
+        """Schedule a worker join at a future simulation time."""
+
+        def _join():
+            delay = at_time - self.env.now
+            if delay > 0:
+                yield self.env.timeout(delay)
+            self.add_worker_now(accelerated=accelerated)
+
+        self.env.process(_join(), name=f"join@{at_time}")
+
+    def decommission(self, node_id: int, kill_datanode: bool = True) -> None:
+        """Remove a worker: heartbeats stop, running attempts die, and
+        (optionally) its replicas disappear — the JobTracker's timeout
+        machinery takes it from there."""
+        tracker = next(t for t in self.trackers if t.tracker_id == node_id)
+        tracker.kill()
+        if kill_datanode:
+            self.namenode.handle_datanode_failure(node_id)
+
+    # -- data --------------------------------------------------------------------
+    def ingest(
+        self, path: str, size: int, payload: Optional[bytes] = None, placement: str = "contiguous"
+    ) -> None:
+        """Pre-load a dataset (no simulated time; see HDFSClient.ingest_file)."""
+        self.client.ingest_file(path, size, payload=payload, placement=placement)
+
+    # -- jobs --------------------------------------------------------------------
+    def run_job(self, conf: JobConf) -> JobResult:
+        """Submit ``conf`` and run the simulation to job completion."""
+        self.start()
+        job = self.jobtracker.submit_job(conf)
+        result = self.env.run(job.completion)
+        return result
+
+    # -- reporting -----------------------------------------------------------------
+    def job_energy_j(self, result: JobResult, backend: Backend) -> float:
+        """Cluster energy for a finished job (paper §V energy question)."""
+        model = EnergyModel(self.calib)
+        makespan = result.makespan_s
+        total = 0.0
+        for worker in self.cluster.workers:
+            total += model.node_energy(backend, worker.kernel_busy_s, makespan).total_j
+        return total
+
+
+def _default_maps(nodes: int, calib: CalibrationProfile) -> int:
+    """The paper's setting: one split per mapper slot (2 per blade)."""
+    return nodes * calib.mappers_per_node
+
+
+def run_encryption_job(
+    nodes: int,
+    data_bytes: float,
+    backend: Backend,
+    calib: CalibrationProfile = PAPER_CALIBRATION,
+    num_map_tasks: Optional[int] = None,
+    seed: int = 1234,
+    trace: bool = False,
+    accelerated_fraction: float = 1.0,
+    return_cluster: bool = False,
+):
+    """One distributed AES job (Figs. 4 and 5).
+
+    ``data_bytes`` of input are pre-loaded into HDFS, split across
+    ``num_map_tasks`` mappers (default: every slot), and encrypted with
+    the chosen kernel backend.
+    """
+    sim = SimulatedCluster(
+        nodes, calib, seed=seed, trace=trace, accelerated_fraction=accelerated_fraction
+    )
+    sim.ingest("/data/plaintext", int(data_bytes))
+    conf = JobConf(
+        name=f"encrypt-{backend.value}",
+        workload="aes" if backend is not Backend.EMPTY else "empty",
+        backend=backend,
+        input_path="/data/plaintext",
+        num_map_tasks=num_map_tasks or _default_maps(nodes, calib),
+        record_bytes=calib.record_bytes,
+        num_reduce_tasks=0,
+    )
+    result = sim.run_job(conf)
+    return (result, sim) if return_cluster else result
+
+
+def run_empty_job(
+    nodes: int,
+    data_bytes: float,
+    calib: CalibrationProfile = PAPER_CALIBRATION,
+    **kwargs,
+):
+    """The paper's EmptyMapper probe: read everything, compute nothing."""
+    return run_encryption_job(nodes, data_bytes, Backend.EMPTY, calib, **kwargs)
+
+
+def run_pi_job(
+    nodes: int,
+    samples: float,
+    backend: Backend,
+    calib: CalibrationProfile = PAPER_CALIBRATION,
+    num_map_tasks: Optional[int] = None,
+    seed: int = 1234,
+    trace: bool = False,
+    accelerated_fraction: float = 1.0,
+    return_cluster: bool = False,
+):
+    """One distributed Pi job (Figs. 7 and 8)."""
+    sim = SimulatedCluster(
+        nodes, calib, seed=seed, trace=trace, accelerated_fraction=accelerated_fraction
+    )
+    conf = JobConf(
+        name=f"pi-{backend.value}",
+        workload="pi",
+        backend=backend,
+        samples=samples,
+        num_map_tasks=num_map_tasks or _default_maps(nodes, calib),
+        num_reduce_tasks=1,
+    )
+    result = sim.run_job(conf)
+    return (result, sim) if return_cluster else result
+
+
+def run_sort_job(
+    nodes: int,
+    data_bytes: float,
+    backend: Backend = Backend.JAVA_PPE,
+    calib: CalibrationProfile = PAPER_CALIBRATION,
+    num_reduce_tasks: Optional[int] = None,
+    seed: int = 1234,
+    trace: bool = False,
+    return_cluster: bool = False,
+):
+    """A Terasort-style job (E7's per-node/per-core rate analysis)."""
+    sim = SimulatedCluster(nodes, calib, seed=seed, trace=trace)
+    sim.ingest("/data/sort-input", int(data_bytes))
+    conf = JobConf(
+        name=f"sort-{backend.value}",
+        workload="sort",
+        backend=backend,
+        input_path="/data/sort-input",
+        num_map_tasks=_default_maps(nodes, calib),
+        record_bytes=calib.record_bytes,
+        num_reduce_tasks=num_reduce_tasks if num_reduce_tasks is not None else nodes,
+    )
+    result = sim.run_job(conf)
+    return (result, sim) if return_cluster else result

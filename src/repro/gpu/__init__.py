@@ -1,0 +1,19 @@
+"""GPU accelerator model — the paper's extensibility claim, exercised.
+
+"The system may be easily extended to take advantage of other existing
+accelerators in the system, such as GPUs or new developments to come"
+(§I). This package adds a 2008-era Tesla-like device behind the same
+offload-runtime interface the Cell uses: a PCIe staging link (the analog
+of the Cell's DMA path), a kernel-launch overhead (the analog of SPU
+initialization), and calibrated AES/Monte-Carlo rates.
+
+The extension benchmark shows the paper's conclusion is
+accelerator-agnostic: a GPU that encrypts ~2x faster than the Cell still
+ties with the Java mapper on the data-intensive job, because the Hadoop
+delivery path is the bottleneck either way.
+"""
+
+from repro.gpu.device import GPUDevice, GPUSpec, TESLA_C1060
+from repro.gpu.runtime import GPUOffloadRuntime
+
+__all__ = ["GPUDevice", "GPUOffloadRuntime", "GPUSpec", "TESLA_C1060"]

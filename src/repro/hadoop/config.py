@@ -1,0 +1,93 @@
+"""Job configuration.
+
+Mirrors the knobs the paper describes: "Hadoop allows the programmer to
+have two different work partition levels: the first level defines the
+work assignment unit of a node (which is named split) and the second
+level defines the work unit of a map() function (which is named record)"
+(§III-A); "the data was partitioned ... using an split size of
+FileSize/NumMappers and a record size of 64MB" (§IV-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.perf.calibration import Backend
+
+__all__ = ["JobConf"]
+
+
+@dataclass
+class JobConf:
+    """Configuration for one MapReduce job.
+
+    Attributes
+    ----------
+    name: job identifier (appears in traces).
+    workload: ``"aes"``, ``"pi"``, ``"sort"``, or ``"empty"`` — selects
+        the kernel pair and whether the job is data- or compute-driven.
+    backend: which kernel implementation the mappers invoke (the paper's
+        Java vs. Cell-accelerated configurations).
+    input_path: HDFS input file (data-driven workloads).
+    num_map_tasks: number of splits. The paper sets this to the number
+        of mapper slots (FileSize/NumMappers split size); leave None to
+        derive one split per HDFS block instead.
+    samples: total Monte-Carlo samples (Pi workload).
+    record_bytes: map()-level work unit (paper: 64 MB).
+    num_reduce_tasks: 0 for the paper's map-only encryption job; 1 for
+        the Pi estimator's aggregation.
+    output_replication: replication of job output files.
+    speculative: enable speculative re-execution of stragglers.
+    max_attempts: per-task attempt budget before the job fails.
+    fallback_backend: kernel to use when a task lands on a node without
+        the accelerator the primary backend needs (the §V heterogeneous-
+        cluster scenario). None (default) makes such attempts fail.
+    """
+
+    name: str = "job"
+    workload: str = "aes"
+    backend: Backend = Backend.JAVA_PPE
+    input_path: Optional[str] = None
+    num_map_tasks: Optional[int] = None
+    samples: float = 0.0
+    record_bytes: int = 64 * 1024 * 1024
+    num_reduce_tasks: int = 0
+    output_replication: int = 1
+    speculative: bool = False
+    max_attempts: int = 4
+    fallback_backend: Optional[Backend] = None
+    aes_key: Optional[bytes] = None
+    """Functional-verification mode: when set (16 bytes) and the input
+    carries real payload bytes, each mapper actually AES-128-CTR
+    encrypts its records; the per-task ciphertext is exposed through the
+    map-output registry so a test can verify the distributed result
+    bit-for-bit against a single-pass reference."""
+    aes_nonce: bytes = b"\x00" * 8
+
+    def __post_init__(self) -> None:
+        if self.workload not in ("aes", "pi", "sort", "empty", "wordcount"):
+            raise ValueError(f"unknown workload {self.workload!r}")
+        if self.workload == "pi":
+            if self.samples <= 0:
+                raise ValueError("pi workload requires samples > 0")
+            if self.num_map_tasks is None:
+                raise ValueError("pi workload requires an explicit num_map_tasks")
+        else:
+            if self.input_path is None:
+                raise ValueError(f"{self.workload} workload requires input_path")
+        if self.record_bytes <= 0:
+            raise ValueError("record_bytes must be positive")
+        if self.num_reduce_tasks < 0:
+            raise ValueError("num_reduce_tasks must be >= 0")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.aes_key is not None and len(self.aes_key) != 16:
+            raise ValueError("aes_key must be 16 bytes (AES-128)")
+        if len(self.aes_nonce) != 8:
+            raise ValueError("aes_nonce must be 8 bytes")
+
+    @property
+    def is_data_driven(self) -> bool:
+        """True when mappers consume HDFS input (AES/sort/empty)."""
+        return self.workload != "pi"

@@ -1,0 +1,53 @@
+"""Fault injection helpers.
+
+Fail-stop node crashes: the TaskTracker's heartbeats cease, its running
+attempts die, and (optionally) its DataNode's replicas disappear — the
+scenario Hadoop's heartbeat-timeout machinery exists for (§III-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Generator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hadoop.jobtracker import JobTracker
+    from repro.hadoop.tasktracker import TaskTracker
+    from repro.hdfs.namenode import NameNode
+    from repro.sim.engine import Environment
+
+__all__ = ["FaultPlan", "kill_node_at"]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One scheduled fail-stop crash."""
+
+    node_id: int
+    at_time: float
+    kill_datanode: bool = True
+
+
+def kill_node_at(
+    env: "Environment",
+    tracker: "TaskTracker",
+    plan: FaultPlan,
+    namenode: Optional["NameNode"] = None,
+):
+    """Schedule a fail-stop crash of ``tracker``'s node at ``plan.at_time``.
+
+    Returns the injection process (joinable). When ``kill_datanode`` and a
+    NameNode are given, the node's replicas are dropped too — with the
+    paper's replication=1 this makes the affected blocks unrecoverable,
+    which is exactly the failure mode the fault-tolerance tests probe.
+    """
+
+    def _inject() -> Generator:
+        delay = plan.at_time - env.now
+        if delay > 0:
+            yield env.timeout(delay)
+        tracker.kill()
+        if plan.kill_datanode and namenode is not None:
+            namenode.handle_datanode_failure(plan.node_id)
+
+    return env.process(_inject(), name=f"fault-{plan.node_id}")

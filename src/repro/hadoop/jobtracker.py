@@ -1,0 +1,384 @@
+"""The JobTracker: split queue, heartbeat scheduling, fault recovery.
+
+"The process which distributes work among nodes is named JobTracker ...
+If a node in the system becomes idle, the JobTracker picks a new job from
+its queue to feed it ... Another consideration of the map tasks
+scheduling is the location of the blocks, as it tries to minimize the
+number of remote blocks accesses ... the JobTracker can detect a node
+failure and reschedule the task to another TaskTracker" (§III-A).
+
+The JobTracker is a single serialized service (it ran on the JS22 master
+blade with the NameNode); every heartbeat and completion report costs
+:attr:`CalibrationProfile.jobtracker_service_s` of its time. At large
+node counts this serialization is the growing component of the runtime
+floor — the mechanism behind the 10x-samples curve in Fig. 8 "stop[ping]
+scaling its performance when increasing the number of TaskTrackers".
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional
+
+from repro.hadoop.config import JobConf
+from repro.hadoop.job import Job, JobState, TaskKind, TaskRecord
+from repro.hadoop.messages import (
+    Assignment,
+    AssignmentReply,
+    Heartbeat,
+    KillDirective,
+    TaskDone,
+    TaskFailed,
+)
+from repro.hadoop.split import InputFormat
+from repro.sim.resources import Store
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.topology import Cluster
+    from repro.hadoop.tasktracker import TaskTracker
+    from repro.hdfs.client import HDFSClient
+
+__all__ = ["JobTracker"]
+
+
+class JobTracker:
+    """Cluster-level scheduler bound to the master blade."""
+
+    def __init__(self, cluster: "Cluster", client: "HDFSClient"):
+        self.cluster = cluster
+        self.client = client
+        self.env = cluster.env
+        self.calib = cluster.calib
+        self.rng = cluster.rng
+        self.tracer = cluster.tracer
+        self.inbox = Store(self.env)
+        self.map_outputs: dict = {}
+        self.cluster_nodes = {n.node_id: n for n in cluster.nodes}
+
+        self._trackers: dict[int, "TaskTracker"] = {}
+        self._last_seen: dict[int, float] = {}
+        self._jobs: dict[int, Job] = {}
+        self._pending_maps: dict[int, list[int]] = {}
+        self._pending_reduces: dict[int, list[int]] = {}
+        self._running_attempts: dict[tuple[int, TaskKind, int], list[tuple[int, int, float]]] = {}
+        """(job, kind, task) → [(tracker_id, attempt, start_time)]."""
+        self._kill_queue: dict[int, list[KillDirective]] = {}
+        self._next_job_id = 0
+        self._started = False
+
+    # -- membership -------------------------------------------------------------
+    def register_tracker(self, tracker: "TaskTracker") -> None:
+        self._trackers[tracker.tracker_id] = tracker
+        self._last_seen[tracker.tracker_id] = self.env.now
+
+    @property
+    def live_trackers(self) -> list[int]:
+        return sorted(self._trackers)
+
+    def job_by_id(self, job_id: int) -> Job:
+        return self._jobs[job_id]
+
+    # -- lifecycle ----------------------------------------------------------------
+    def start(self) -> None:
+        """Start the scheduler and failure-monitor processes."""
+        if self._started:
+            return
+        self._started = True
+        self.env.process(self._main_loop(), name="jobtracker")
+        self.env.process(self._failure_monitor(), name="jt-monitor")
+
+    # -- submission ----------------------------------------------------------------
+    def submit_job(self, conf: JobConf) -> Job:
+        """Create a job and start its setup; returns immediately.
+
+        Wait on ``job.completion`` to get the :class:`JobResult`.
+        """
+        job = Job(conf=conf, env=self.env, job_id=self._next_job_id)
+        job.submit_time = self.env.now
+        self._next_job_id += 1
+        self._jobs[job.job_id] = job
+        self.env.process(self._setup_job(job), name=f"job-setup-{job.job_id}")
+        return job
+
+    def _setup_job(self, job: Job) -> Generator:
+        conf = job.conf
+        yield self.env.timeout(self.calib.job_setup_s)
+        if conf.is_data_driven:
+            from repro.hdfs.namenode import HDFSError
+
+            try:
+                meta = self.client.namenode.file_meta(conf.input_path)
+            except HDFSError as exc:
+                job.mark_finished(JobState.FAILED, reason=f"job setup failed: {exc}")
+                return
+            splits = InputFormat.compute_splits(meta, num_splits=conf.num_map_tasks)
+            for split in splits:
+                job.maps[split.split_id] = TaskRecord(
+                    kind=TaskKind.MAP, task_id=split.split_id, split=split
+                )
+        else:
+            per_task = conf.samples / conf.num_map_tasks
+            for i in range(conf.num_map_tasks):
+                job.maps[i] = TaskRecord(kind=TaskKind.MAP, task_id=i, samples=per_task)
+        for r in range(conf.num_reduce_tasks):
+            job.reduces[r] = TaskRecord(kind=TaskKind.REDUCE, task_id=r)
+        self._pending_maps[job.job_id] = sorted(job.maps)
+        self._pending_reduces[job.job_id] = []
+        job.state = JobState.RUNNING
+        if not job.maps:
+            yield from self._finish_job(job)
+        if self.tracer.enabled:
+            self.tracer.emit("jobtracker", "job_started", job=job.job_id, maps=len(job.maps))
+
+    # -- main service loop ------------------------------------------------------------
+    def _main_loop(self) -> Generator:
+        while True:
+            msg, reply_box = yield self.inbox.get()
+            # Serialized service time for every RPC the JobTracker handles.
+            yield self.env.timeout(self.calib.jobtracker_service_s)
+            if isinstance(msg, Heartbeat):
+                reply = self._handle_heartbeat(msg)
+                yield reply_box.put(reply)
+            elif isinstance(msg, TaskDone):
+                self._handle_done(msg)
+            elif isinstance(msg, TaskFailed):
+                self._handle_failed(msg)
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unknown message {msg!r}")
+
+    # -- heartbeat handling ------------------------------------------------------------
+    def _handle_heartbeat(self, hb: Heartbeat) -> AssignmentReply:
+        self._last_seen[hb.tracker_id] = self.env.now
+        kills = tuple(self._kill_queue.pop(hb.tracker_id, ()))
+        assignments: list[Assignment] = []
+        free_maps = hb.free_map_slots
+        free_reduces = hb.free_reduce_slots
+        for job_id in sorted(self._jobs):
+            job = self._jobs[job_id]
+            if job.state is not JobState.RUNNING:
+                continue
+            while free_maps > 0:
+                assignment = self._next_map_assignment(job, hb.tracker_id)
+                if assignment is None:
+                    break
+                assignments.append(assignment)
+                free_maps -= 1
+            while free_reduces > 0:
+                assignment = self._next_reduce_assignment(job, hb.tracker_id)
+                if assignment is None:
+                    break
+                assignments.append(assignment)
+                free_reduces -= 1
+        return AssignmentReply(assignments=tuple(assignments), kills=kills)
+
+    def _next_map_assignment(self, job: Job, tracker_id: int) -> Optional[Assignment]:
+        pending = self._pending_maps.get(job.job_id, [])
+        chosen: Optional[int] = None
+        if pending:
+            # Locality first: a split whose preferred nodes include this
+            # tracker's blade; otherwise the head of the queue.
+            for task_id in pending:
+                split = job.maps[task_id].split
+                if split is not None and tracker_id in split.preferred_nodes:
+                    chosen = task_id
+                    break
+            if chosen is None:
+                chosen = pending[0]
+            pending.remove(chosen)
+            task = job.maps[chosen]
+            job.bump(
+                "data_local_maps"
+                if task.split is not None and tracker_id in task.split.preferred_nodes
+                else "other_maps"
+            )
+        elif job.conf.speculative:
+            chosen = self._pick_speculative(job, tracker_id)
+            if chosen is None:
+                return None
+        else:
+            return None
+        task = job.maps[chosen]
+        return self._issue(job, task, tracker_id)
+
+    def _pick_speculative(self, job: Job, tracker_id: int) -> Optional[int]:
+        """Duplicate the longest-running map that looks like a straggler."""
+        done = [t.duration for t in job.maps.values() if t.state == "done"]
+        if not done:
+            return None
+        import math
+
+        mean = sum(done) / len(done)
+        best_id, best_elapsed = None, 0.0
+        for task in job.maps.values():
+            if task.state != "running":
+                continue
+            attempts = self._running_attempts.get((job.job_id, TaskKind.MAP, task.task_id), [])
+            if len(attempts) != 1:
+                continue  # already duplicated (or lost)
+            if attempts[0][0] == tracker_id:
+                continue  # don't duplicate onto the same node
+            elapsed = self.env.now - attempts[0][2]
+            if elapsed > 1.5 * mean and elapsed > best_elapsed and not math.isnan(mean):
+                best_id, best_elapsed = task.task_id, elapsed
+        if best_id is not None:
+            job.bump("speculative_attempts")
+        return best_id
+
+    def _next_reduce_assignment(self, job: Job, tracker_id: int) -> Optional[Assignment]:
+        if not job.maps_all_done:
+            return None
+        pending = self._pending_reduces.get(job.job_id, [])
+        if not pending:
+            return None
+        task_id = pending.pop(0)
+        return self._issue(job, job.reduces[task_id], tracker_id)
+
+    def _issue(self, job: Job, task: TaskRecord, tracker_id: int) -> Assignment:
+        task.attempts += 1
+        task.state = "running"
+        task.tracker = tracker_id
+        if task.start_time < 0:
+            task.start_time = self.env.now
+        if job.launch_time < 0:
+            job.launch_time = self.env.now
+        key = (job.job_id, task.kind, task.task_id)
+        self._running_attempts.setdefault(key, []).append(
+            (tracker_id, task.attempts, self.env.now)
+        )
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "jobtracker",
+                "task_assigned",
+                job=job.job_id,
+                kind=task.kind.value,
+                task=task.task_id,
+                tracker=tracker_id,
+            )
+        return Assignment(
+            job_id=job.job_id,
+            kind=task.kind,
+            task_id=task.task_id,
+            attempt=task.attempts,
+            slot=0,
+        )
+
+    # -- completion handling ------------------------------------------------------------
+    def _handle_done(self, msg: TaskDone) -> None:
+        job = self._jobs.get(msg.job_id)
+        if job is None or job.state is not JobState.RUNNING:
+            return
+        task = job.task(msg.kind, msg.task_id)
+        key = (msg.job_id, msg.kind, msg.task_id)
+        attempts = self._running_attempts.get(key, [])
+        self._running_attempts[key] = [a for a in attempts if a[1] != msg.attempt]
+        if task.state == "done":
+            return  # late duplicate
+        task.state = "done"
+        task.end_time = self.env.now
+        task.tracker = msg.tracker_id
+        stats = msg.stats
+        task.records = int(stats.get("records", 0))
+        task.output_bytes = float(stats.get("output_bytes", 0.0))
+        task.kernel_busy_s = float(stats.get("kernel_busy_s", 0.0))
+        task.remote_bytes = float(stats.get("remote_bytes", 0.0))
+        if msg.kind is TaskKind.MAP:
+            job.bump("map_input_bytes", float(stats.get("input_bytes", 0.0)))
+            job.bump("remote_input_bytes", float(stats.get("remote_bytes", 0.0)))
+            job.bump("map_output_bytes", task.output_bytes)
+            job.bump("map_records", task.records)
+        else:
+            job.bump("reduce_shuffle_bytes", float(stats.get("shuffle_bytes", 0.0)))
+        # Kill redundant attempts of this task (speculation cleanup).
+        for tracker_id, attempt, _t0 in self._running_attempts.get(key, []):
+            self._kill_queue.setdefault(tracker_id, []).append(
+                KillDirective(msg.job_id, msg.kind, msg.task_id, attempt)
+            )
+        if msg.kind is TaskKind.MAP and job.maps_all_done and job.maps_done_time < 0:
+            job.maps_done_time = self.env.now
+            self._pending_reduces[job.job_id] = sorted(job.reduces)
+        if job.is_complete:
+            self.env.process(self._finish_job(job), name=f"job-finish-{job.job_id}")
+
+    def _handle_failed(self, msg: TaskFailed) -> None:
+        job = self._jobs.get(msg.job_id)
+        if job is None or job.state is not JobState.RUNNING:
+            return
+        task = job.task(msg.kind, msg.task_id)
+        key = (msg.job_id, msg.kind, msg.task_id)
+        attempts = self._running_attempts.get(key, [])
+        self._running_attempts[key] = [a for a in attempts if a[1] != msg.attempt]
+        if task.state == "done":
+            return
+        job.bump("failed_attempts")
+        if task.attempts >= job.conf.max_attempts:
+            job.mark_finished(
+                JobState.FAILED,
+                reason=f"{msg.kind.value} task {msg.task_id} failed {task.attempts} times: {msg.reason}",
+            )
+            return
+        task.state = "pending"
+        pending = (
+            self._pending_maps if msg.kind is TaskKind.MAP else self._pending_reduces
+        ).setdefault(msg.job_id, [])
+        if msg.task_id not in pending:
+            pending.append(msg.task_id)
+
+    def _finish_job(self, job: Job) -> Generator:
+        yield self.env.timeout(self.calib.job_cleanup_s)
+        if job.state is JobState.RUNNING or job.state is JobState.PREP:
+            job.mark_finished(JobState.SUCCEEDED)
+            if self.tracer.enabled:
+                self.tracer.emit("jobtracker", "job_done", job=job.job_id)
+
+    # -- failure detection ---------------------------------------------------------------
+    def _failure_monitor(self) -> Generator:
+        interval = self.calib.heartbeat_interval_s
+        while True:
+            yield self.env.timeout(interval)
+            now = self.env.now
+            for tracker_id in list(self._trackers):
+                if now - self._last_seen.get(tracker_id, now) > self.calib.heartbeat_timeout_s:
+                    self._declare_lost(tracker_id)
+
+    def _declare_lost(self, tracker_id: int) -> None:
+        """Remove a dead tracker and reschedule everything it owed us."""
+        self._trackers.pop(tracker_id, None)
+        self._last_seen.pop(tracker_id, None)
+        if self.tracer.enabled:
+            self.tracer.emit("jobtracker", "tracker_lost", tracker=tracker_id)
+        for key, attempts in list(self._running_attempts.items()):
+            job_id, kind, task_id = key
+            remaining = [a for a in attempts if a[0] != tracker_id]
+            if len(remaining) == len(attempts):
+                continue
+            self._running_attempts[key] = remaining
+            job = self._jobs.get(job_id)
+            if job is None or job.state is not JobState.RUNNING:
+                continue
+            task = job.task(kind, task_id)
+            if task.state == "running" and not remaining:
+                task.state = "pending"
+                pending = (
+                    self._pending_maps if kind is TaskKind.MAP else self._pending_reduces
+                ).setdefault(job_id, [])
+                if task_id not in pending:
+                    pending.append(task_id)
+                job.bump("rescheduled_tasks")
+        # Completed map outputs on the dead node are gone; jobs with
+        # reducers still shuffling must re-run those maps.
+        for job in self._jobs.values():
+            if job.state is not JobState.RUNNING or not job.reduces:
+                continue
+            if all(t.state == "done" for t in job.reduces.values()):
+                continue
+            for task in job.maps.values():
+                out = self.map_outputs.get((job.job_id, task.task_id))
+                if task.state == "done" and out is not None and out.node_id == tracker_id:
+                    task.state = "pending"
+                    task.attempts = 0
+                    self.map_outputs.pop((job.job_id, task.task_id), None)
+                    pending = self._pending_maps.setdefault(job.job_id, [])
+                    if task.task_id not in pending:
+                        pending.append(task.task_id)
+                    if job.maps_done_time >= 0:
+                        job.maps_done_time = -1.0
+                    job.bump("rerun_completed_maps")

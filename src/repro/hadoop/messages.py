@@ -1,0 +1,85 @@
+"""Wire messages between TaskTrackers and the JobTracker.
+
+All coordination rides on heartbeats, as in Hadoop 0.19: "if a node in
+the system becomes idle, the JobTracker picks a new job from its queue to
+feed it ... during the process of a split the TaskTracker sends periodic
+heartbeats to the JobTracker" (§III-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.hadoop.job import TaskKind
+
+__all__ = [
+    "Assignment",
+    "AssignmentReply",
+    "Heartbeat",
+    "KillDirective",
+    "TaskDone",
+    "TaskFailed",
+]
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """TaskTracker → JobTracker liveness + capacity report."""
+
+    tracker_id: int
+    free_map_slots: int
+    free_reduce_slots: int
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """JobTracker → TaskTracker: run one task attempt."""
+
+    job_id: int
+    kind: TaskKind
+    task_id: int
+    attempt: int
+    slot: int
+
+
+@dataclass(frozen=True)
+class KillDirective:
+    """JobTracker → TaskTracker: abort an obsolete attempt."""
+
+    job_id: int
+    kind: TaskKind
+    task_id: int
+    attempt: int
+
+
+@dataclass(frozen=True)
+class AssignmentReply:
+    """Response to one heartbeat."""
+
+    assignments: tuple[Assignment, ...] = ()
+    kills: tuple[KillDirective, ...] = ()
+
+
+@dataclass(frozen=True)
+class TaskDone:
+    """TaskTracker → JobTracker: attempt finished successfully."""
+
+    tracker_id: int
+    job_id: int
+    kind: TaskKind
+    task_id: int
+    attempt: int
+    stats: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class TaskFailed:
+    """TaskTracker → JobTracker: attempt failed."""
+
+    tracker_id: int
+    job_id: int
+    kind: TaskKind
+    task_id: int
+    attempt: int
+    reason: str = ""

@@ -1,0 +1,104 @@
+"""Input splits and the split computation.
+
+"This process [the JobTracker] uses the method configured by the
+programmer to partition the input data into splits ... the granularity
+of the splits have a high influence on the balancing capability of the
+scheduler" (§III-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.hdfs.blocks import FileMeta
+
+__all__ = ["InputSplit", "InputFormat"]
+
+
+@dataclass(frozen=True)
+class InputSplit:
+    """A node-level work unit: a contiguous byte range of the input file.
+
+    ``preferred_nodes`` lists the DataNodes holding the majority of the
+    split's bytes, in descending coverage order — the JobTracker "tries
+    to minimize the number of remote blocks accesses" using this.
+    """
+
+    split_id: int
+    path: str
+    offset: int
+    length: int
+    preferred_nodes: tuple[int, ...] = ()
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.length
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Split {self.split_id} [{self.offset}, {self.end}) pref={self.preferred_nodes}>"
+
+
+class InputFormat:
+    """Computes splits for a file, mirroring FileInputFormat semantics."""
+
+    @staticmethod
+    def compute_splits(
+        meta: FileMeta,
+        num_splits: Optional[int] = None,
+        split_bytes: Optional[int] = None,
+    ) -> list[InputSplit]:
+        """Partition ``meta`` into splits.
+
+        Exactly one of ``num_splits`` / ``split_bytes`` may be given;
+        with neither, one split per HDFS block (stock Hadoop). With
+        ``num_splits`` the split size is ``ceil(FileSize/NumMappers)``,
+        the paper's setting.
+        """
+        if num_splits is not None and split_bytes is not None:
+            raise ValueError("give at most one of num_splits / split_bytes")
+        if meta.size == 0:
+            return []
+        if num_splits is not None:
+            if num_splits < 1:
+                raise ValueError("num_splits must be >= 1")
+            size = -(-meta.size // num_splits)
+        elif split_bytes is not None:
+            if split_bytes < 1:
+                raise ValueError("split_bytes must be >= 1")
+            size = split_bytes
+        else:
+            size = meta.block_size
+
+        splits: list[InputSplit] = []
+        offset = 0
+        sid = 0
+        while offset < meta.size:
+            length = min(size, meta.size - offset)
+            splits.append(
+                InputSplit(
+                    split_id=sid,
+                    path=meta.path,
+                    offset=offset,
+                    length=length,
+                    preferred_nodes=InputFormat.preferred_nodes(meta, offset, length),
+                )
+            )
+            offset += length
+            sid += 1
+        return splits
+
+    @staticmethod
+    def preferred_nodes(meta: FileMeta, offset: int, length: int, top: int = 3) -> tuple[int, ...]:
+        """Nodes ranked by how many of the split's bytes they hold."""
+        coverage: dict[int, int] = {}
+        for block in meta.blocks_for_range(offset, length):
+            b_start = meta.block_offset(block.index)
+            b_end = b_start + block.size
+            overlap = min(b_end, offset + length) - max(b_start, offset)
+            if overlap <= 0:
+                continue
+            for node_id in block.locations:
+                coverage[node_id] = coverage.get(node_id, 0) + overlap
+        ranked = sorted(coverage.items(), key=lambda kv: (-kv[1], kv[0]))
+        return tuple(node_id for node_id, _cov in ranked[:top])

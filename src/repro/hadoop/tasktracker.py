@@ -1,0 +1,214 @@
+"""The TaskTracker: per-blade task execution agent.
+
+"The process that controls the execution of the map tasks inside a node
+is named TaskTracker. This process receives a split description, divides
+the split data into records ... and launches the processes that will
+execute the map tasks (Mappers). The programmer can also decide how many
+simultaneous map() functions wants to execute on a node" (§III-A). The
+paper runs two Mappers per blade — one per Cell socket.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional
+
+from repro.hadoop.job import TaskKind
+from repro.hadoop.messages import (
+    Assignment,
+    AssignmentReply,
+    Heartbeat,
+    KillDirective,
+    TaskDone,
+    TaskFailed,
+)
+from repro.hadoop.tasks import TaskContext, run_map_task, run_reduce_task
+from repro.sim.events import Interrupt, Process
+from repro.sim.resources import Store
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.node import Node
+    from repro.hadoop.jobtracker import JobTracker
+
+__all__ = ["TaskTracker"]
+
+
+class TaskTracker:
+    """Heartbeat-driven task execution on one worker blade.
+
+    Parameters
+    ----------
+    jobtracker: the cluster's JobTracker.
+    node: the hosting blade.
+    map_slots: simultaneous mappers (paper: 2).
+    reduce_slots: simultaneous reducers.
+    """
+
+    def __init__(
+        self,
+        jobtracker: "JobTracker",
+        node: "Node",
+        map_slots: Optional[int] = None,
+        reduce_slots: int = 1,
+    ):
+        self.jt = jobtracker
+        self.node = node
+        self.env = node.env
+        self.calib = jobtracker.calib
+        self.map_slots = map_slots if map_slots is not None else self.calib.mappers_per_node
+        self.reduce_slots = reduce_slots
+        self.mailbox = Store(self.env)
+        self.alive = True
+        self._running: dict[tuple[int, TaskKind, int, int], Process] = {}
+        self._used_map_slots = 0
+        self._used_reduce_slots = 0
+        self._slot_in_use: list[bool] = [False] * self.map_slots
+        self._proc: Optional[Process] = None
+        jobtracker.register_tracker(self)
+
+    @property
+    def tracker_id(self) -> int:
+        return self.node.node_id
+
+    @property
+    def free_map_slots(self) -> int:
+        return self.map_slots - self._used_map_slots
+
+    @property
+    def free_reduce_slots(self) -> int:
+        return self.reduce_slots - self._used_reduce_slots
+
+    @property
+    def running_count(self) -> int:
+        return len(self._running)
+
+    # -- lifecycle ----------------------------------------------------------------
+    def start(self) -> Process:
+        """Begin the heartbeat loop."""
+        self._proc = self.env.process(self._heartbeat_loop(), name=f"tt-{self.tracker_id}")
+        return self._proc
+
+    def kill(self) -> None:
+        """Fail-stop this tracker (fault injection): heartbeats cease and
+        all running task attempts die silently — exactly what the
+        JobTracker's timeout machinery must recover from."""
+        self.alive = False
+        for proc in list(self._running.values()):
+            if proc.is_alive:
+                proc.interrupt("node failure")
+        # Slot counters unwind through each attempt's finally block.
+
+    # -- heartbeat protocol ----------------------------------------------------------
+    def _heartbeat_loop(self) -> Generator:
+        jitter_rng = self.jt.rng.stream(f"tt-jitter-{self.tracker_id}")
+        # Desynchronize tracker phases like real daemon start-up does.
+        yield self.env.timeout(float(jitter_rng.uniform(0, self.calib.heartbeat_interval_s)))
+        while self.alive:
+            hb = Heartbeat(
+                tracker_id=self.tracker_id,
+                free_map_slots=self.free_map_slots,
+                free_reduce_slots=self.free_reduce_slots,
+            )
+            yield self.jt.inbox.put((hb, self.mailbox))
+            reply = yield self.mailbox.get(lambda m: isinstance(m, AssignmentReply))
+            for kill in reply.kills:
+                self._kill_attempt(kill)
+            for assignment in reply.assignments:
+                self._launch(assignment)
+            yield self.env.timeout(
+                self.calib.heartbeat_interval_s * float(jitter_rng.uniform(0.95, 1.05))
+            )
+
+    def _kill_attempt(self, kill: KillDirective) -> None:
+        key = (kill.job_id, kill.kind, kill.task_id, kill.attempt)
+        proc = self._running.get(key)
+        if proc is not None and proc.is_alive:
+            proc.interrupt("killed by jobtracker")
+
+    def _launch(self, assignment: Assignment) -> None:
+        """Start an attempt, binding map attempts to a free slot/socket.
+
+        Slot accounting happens here (synchronously) so two assignments
+        arriving in one reply cannot race for the same Cell socket.
+        """
+        if not self.alive:
+            return
+        is_map = assignment.kind is TaskKind.MAP
+        if is_map:
+            free = self.free_slot_indices()
+            if not free:
+                return  # stale assignment; the JobTracker will reissue
+            slot = free[0]
+            self._used_map_slots += 1
+            self._slot_in_use[slot] = True
+        else:
+            if self.free_reduce_slots <= 0:
+                return
+            slot = 0
+            self._used_reduce_slots += 1
+        key = (assignment.job_id, assignment.kind, assignment.task_id, assignment.attempt)
+        proc = self.env.process(
+            self._run_attempt(assignment, slot),
+            name=f"attempt-{assignment.kind.value}{assignment.task_id}.{assignment.attempt}@{self.tracker_id}",
+        )
+        self._running[key] = proc
+
+    def _run_attempt(self, assignment: Assignment, slot: int) -> Generator:
+        key = (assignment.job_id, assignment.kind, assignment.task_id, assignment.attempt)
+        job = self.jt.job_by_id(assignment.job_id)
+        task = job.task(assignment.kind, assignment.task_id)
+        is_map = assignment.kind is TaskKind.MAP
+        ctx = TaskContext(
+            env=self.env,
+            node=self.node,
+            client=self.jt.client,
+            calib=self.calib,
+            tracer=self.jt.tracer,
+            map_outputs=self.jt.map_outputs,
+        )
+        try:
+            if is_map:
+                stats = yield from run_map_task(ctx, job, task, slot)
+            else:
+                stats = yield from run_reduce_task(ctx, job, task, slot, self.jt.cluster_nodes)
+            if self.alive:
+                yield self.jt.inbox.put(
+                    (
+                        TaskDone(
+                            tracker_id=self.tracker_id,
+                            job_id=assignment.job_id,
+                            kind=assignment.kind,
+                            task_id=assignment.task_id,
+                            attempt=assignment.attempt,
+                            stats=stats,
+                        ),
+                        self.mailbox,
+                    )
+                )
+        except Interrupt:
+            pass  # killed: the JobTracker already knows or will time us out
+        except Exception as exc:  # noqa: BLE001 - converted to TaskFailed
+            if self.alive:
+                yield self.jt.inbox.put(
+                    (
+                        TaskFailed(
+                            tracker_id=self.tracker_id,
+                            job_id=assignment.job_id,
+                            kind=assignment.kind,
+                            task_id=assignment.task_id,
+                            attempt=assignment.attempt,
+                            reason=f"{type(exc).__name__}: {exc}",
+                        ),
+                        self.mailbox,
+                    )
+                )
+        finally:
+            self._running.pop(key, None)
+            if is_map:
+                self._used_map_slots = max(0, self._used_map_slots - 1)
+                self._slot_in_use[slot] = False
+            else:
+                self._used_reduce_slots = max(0, self._used_reduce_slots - 1)
+
+    def free_slot_indices(self) -> list[int]:
+        """Map slot indices currently idle (socket binding for the bridge)."""
+        return [i for i, used in enumerate(self._slot_in_use) if not used]

@@ -1,0 +1,29 @@
+"""HDFS model: NameNode, DataNodes, blocks, client.
+
+Implements the paper's storage substrate (§III-A): a master/slave file
+system where "file blocks are distributed across the local disks of the
+nodes and can be replicated"; the NameNode "manages the global name
+space", DataNodes serve block reads from their local disk, and block
+locations feed the JobTracker's locality-aware scheduling.
+
+The experiments use 64 MB blocks and replication 1 (§IV-A). Blocks may
+optionally carry real payload bytes so functional integration tests can
+verify end-to-end data integrity through split/record reassembly.
+"""
+
+from repro.hdfs.blocks import Block, BlockMap, FileMeta
+from repro.hdfs.namenode import NameNode, HDFSError
+from repro.hdfs.datanode import DataNode
+from repro.hdfs.client import HDFSClient
+from repro.hdfs.replication import ReplicationManager
+
+__all__ = [
+    "Block",
+    "BlockMap",
+    "DataNode",
+    "FileMeta",
+    "HDFSClient",
+    "HDFSError",
+    "NameNode",
+    "ReplicationManager",
+]

@@ -1,0 +1,100 @@
+"""Block and file metadata structures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+__all__ = ["Block", "FileMeta", "BlockMap"]
+
+
+@dataclass
+class Block:
+    """One HDFS block.
+
+    Attributes
+    ----------
+    block_id: globally unique id.
+    path: owning file.
+    index: position within the file.
+    size: bytes in this block (last block may be short).
+    locations: DataNode node-ids currently holding a replica.
+    """
+
+    block_id: int
+    path: str
+    index: int
+    size: int
+    locations: list[int] = field(default_factory=list)
+
+    @property
+    def offset(self) -> int:
+        """Byte offset of this block within its file.
+
+        Valid because all non-final blocks share the file's block size;
+        computed lazily by :class:`FileMeta`.
+        """
+        raise AttributeError("use FileMeta.block_offset(index)")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Block {self.block_id} {self.path}[{self.index}] {self.size}B @{self.locations}>"
+
+
+@dataclass
+class FileMeta:
+    """Namespace entry for one file."""
+
+    path: str
+    size: int
+    block_size: int
+    blocks: list[Block] = field(default_factory=list)
+    replication: int = 1
+
+    def block_offset(self, index: int) -> int:
+        return index * self.block_size
+
+    def blocks_for_range(self, offset: int, length: int) -> list[Block]:
+        """Blocks overlapping [offset, offset+length)."""
+        if offset < 0 or length < 0:
+            raise ValueError("offset/length must be non-negative")
+        if length == 0:
+            return []
+        first = offset // self.block_size
+        last = (offset + length - 1) // self.block_size
+        return self.blocks[first : last + 1]
+
+    def __iter__(self) -> Iterator[Block]:
+        return iter(self.blocks)
+
+
+class BlockMap:
+    """Reverse index: node id → blocks resident on that node."""
+
+    def __init__(self) -> None:
+        self._by_node: dict[int, set[int]] = {}
+        self._blocks: dict[int, Block] = {}
+
+    def add(self, block: Block, node_id: int) -> None:
+        self._blocks[block.block_id] = block
+        self._by_node.setdefault(node_id, set()).add(block.block_id)
+        if node_id not in block.locations:
+            block.locations.append(node_id)
+
+    def remove_node(self, node_id: int) -> list[Block]:
+        """Drop all replicas on a failed node; returns affected blocks."""
+        affected = []
+        for bid in self._by_node.pop(node_id, set()):
+            block = self._blocks[bid]
+            if node_id in block.locations:
+                block.locations.remove(node_id)
+            affected.append(block)
+        return affected
+
+    def blocks_on(self, node_id: int) -> list[Block]:
+        return [self._blocks[b] for b in self._by_node.get(node_id, ())]
+
+    def block(self, block_id: int) -> Optional[Block]:
+        return self._blocks.get(block_id)
+
+    def __len__(self) -> int:
+        return len(self._blocks)

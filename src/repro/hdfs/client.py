@@ -1,0 +1,119 @@
+"""HDFS client: the file-level API used by jobs and the harness.
+
+Writes charge disk + pipeline transfer per replica; reads pick the best
+replica for the reading node (local if any — "it tries to minimize the
+number of remote blocks accesses", §III-A) and stream blocks in order.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional
+
+from repro.hdfs.blocks import Block, FileMeta
+from repro.hdfs.namenode import HDFSError, NameNode
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.node import Node
+
+__all__ = ["HDFSClient"]
+
+
+class HDFSClient:
+    """File operations against one NameNode."""
+
+    def __init__(self, namenode: NameNode):
+        self.namenode = namenode
+        self.env = namenode.env
+
+    # -- write path --------------------------------------------------------------
+    def write_file(
+        self,
+        path: str,
+        size: int,
+        writer: "Node",
+        payload: Optional[bytes] = None,
+        replication: Optional[int] = None,
+    ) -> Generator:
+        """Process: create ``path`` of ``size`` bytes from ``writer``.
+
+        Charges, per block and per replica: network transfer from the
+        writer to the target DataNode plus the target's disk write. Real
+        HDFS pipelines replicas; with the paper's replication=1 the two
+        models coincide.
+        """
+        yield from self.namenode.rpc()
+        meta = self.namenode.allocate_file(
+            path, size, preferred_node=writer.node_id, replication=replication
+        )
+        offset = 0
+        for block in meta.blocks:
+            chunk = payload[offset : offset + block.size] if payload is not None else None
+            for node_id in block.locations:
+                dn = self.namenode.datanode(node_id)
+                yield from dn.network.transfer(writer, dn.node, block.size)
+                yield from dn.node.disk.write(block.size)
+                dn.store_block(block, chunk)
+            offset += block.size
+        return meta
+
+    def ingest_file(
+        self,
+        path: str,
+        size: int,
+        payload: Optional[bytes] = None,
+        replication: Optional[int] = None,
+        placement: str = "contiguous",
+    ) -> FileMeta:
+        """Instantly materialize a pre-loaded dataset (no simulated time).
+
+        The paper's experiments start from data already resident in HDFS
+        (the 120 GB working set was loaded before timing began); this is
+        the harness call that sets that precondition. The default
+        ``contiguous`` placement reflects a dataset generated in place
+        (each blade wrote its shard locally), which is what makes the
+        paper's record delivery a loopback path.
+        """
+        meta = self.namenode.allocate_file(
+            path, size, preferred_node=None, replication=replication, placement=placement
+        )
+        if payload is not None:
+            offset = 0
+            for block in meta.blocks:
+                chunk = payload[offset : offset + block.size]
+                for node_id in block.locations:
+                    self.namenode.datanode(node_id).store_block(block, chunk)
+                offset += block.size
+        return meta
+
+    # -- read path ----------------------------------------------------------------
+    def choose_replica(self, block: Block, reader: "Node") -> int:
+        """Best replica for ``reader``: local wins, else first live one."""
+        if not block.locations:
+            raise HDFSError(f"block {block.block_id} has no live replicas")
+        if reader.node_id in block.locations:
+            return reader.node_id
+        return block.locations[0]
+
+    def read_block(self, block: Block, reader: "Node", length: Optional[int] = None) -> Generator:
+        """Process: read one block (possibly truncated) to ``reader``.
+
+        Returns the payload bytes when stored, else None.
+        """
+        yield from self.namenode.rpc()
+        node_id = self.choose_replica(block, reader)
+        dn = self.namenode.datanode(node_id)
+        data = yield from dn.serve_block(block, reader, length)
+        return data
+
+    def read_file(self, path: str, reader: "Node") -> Generator:
+        """Process: stream a whole file; returns concatenated payload or None."""
+        meta = self.namenode.file_meta(path)
+        parts: list[bytes] = []
+        have_payload = True
+        for block in meta.blocks:
+            data = yield from self.read_block(block, reader)
+            if data is None:
+                have_payload = False
+            else:
+                parts.append(data)
+        return b"".join(parts) if have_payload and parts else None

@@ -1,0 +1,27 @@
+"""Calibrated performance models.
+
+All magic numbers of the reproduction live in
+:mod:`repro.perf.calibration`; each value carries a docstring citing the
+sentence of the paper (or the derivation) that justifies it. Kernel
+timing models live in :mod:`repro.perf.kernels`; the §V energy-ablation
+model lives in :mod:`repro.perf.energy`.
+"""
+
+from repro.perf.calibration import (
+    CalibrationProfile,
+    PAPER_CALIBRATION,
+    Backend,
+)
+from repro.perf.kernels import KernelPerfModel, RatePerfModel, SamplesPerfModel
+from repro.perf.energy import EnergyModel, PowerSpec
+
+__all__ = [
+    "Backend",
+    "CalibrationProfile",
+    "EnergyModel",
+    "KernelPerfModel",
+    "PAPER_CALIBRATION",
+    "PowerSpec",
+    "RatePerfModel",
+    "SamplesPerfModel",
+]

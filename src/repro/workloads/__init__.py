@@ -1,0 +1,37 @@
+"""Functional workload kernels.
+
+The paper's two applications, implemented for real:
+
+- :mod:`repro.workloads.aes` — a complete AES-128 (key schedule, ECB,
+  CTR), NumPy-vectorized across blocks the way the Cell SPU kernel
+  vectorizes across its 4 KB chunks; validated against FIPS-197.
+- :mod:`repro.workloads.pi` — the Monte-Carlo Pi estimator with the
+  paper's O(1/sqrt(N)) error behaviour.
+
+Plus the substrate workloads the evaluation discusses or the extensions
+need: Terasort-style sorting (§IV-A's rate analysis) and word count
+(quickstart example).
+"""
+
+from repro.workloads.aes import AES128, aes_ctr_keystream
+from repro.workloads.pi import PiEstimate, estimate_pi, pi_error_bound, sample_batch
+from repro.workloads.sort import make_sort_records, sort_records, sample_partitioner
+from repro.workloads.wordcount import tokenize, wordcount_map, wordcount_reduce
+from repro.workloads.generators import random_bytes, synthetic_text
+
+__all__ = [
+    "AES128",
+    "PiEstimate",
+    "aes_ctr_keystream",
+    "estimate_pi",
+    "make_sort_records",
+    "pi_error_bound",
+    "random_bytes",
+    "sample_batch",
+    "sample_partitioner",
+    "sort_records",
+    "synthetic_text",
+    "tokenize",
+    "wordcount_map",
+    "wordcount_reduce",
+]

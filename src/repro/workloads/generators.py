@@ -1,0 +1,38 @@
+"""Synthetic data generators.
+
+The paper's working sets are synthetic (a "very large working set" to
+encrypt; no input at all for Pi). These helpers produce seeded,
+reproducible equivalents for the functional tests and examples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["random_bytes", "synthetic_text"]
+
+_WORDS = (
+    "map reduce split record block node cluster cell spu ppe dma hadoop "
+    "jobtracker tasktracker namenode datanode encrypt sample estimate "
+    "bandwidth latency loopback heartbeat accelerator kernel runtime"
+).split()
+
+
+def random_bytes(n: int, seed: int = 0) -> bytes:
+    """``n`` reproducible pseudo-random bytes."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, size=n, dtype=np.uint8).tobytes()
+
+
+def synthetic_text(n_words: int, seed: int = 0, line_words: int = 12) -> str:
+    """A reproducible corpus of domain words, one line per ``line_words``."""
+    if n_words < 0:
+        raise ValueError("n_words must be non-negative")
+    rng = np.random.default_rng(seed)
+    picks = rng.integers(0, len(_WORDS), size=n_words)
+    lines = []
+    for start in range(0, n_words, line_words):
+        lines.append(" ".join(_WORDS[i] for i in picks[start : start + line_words]))
+    return "\n".join(lines)

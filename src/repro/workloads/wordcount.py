@@ -1,0 +1,31 @@
+"""Word count: the canonical MapReduce example.
+
+Used by the quickstart example and the local-executor tests; it is the
+"hello world" the MapReduce literature (including the paper's §II-A
+description of map()/reduce()) assumes.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Iterable
+
+__all__ = ["tokenize", "wordcount_map", "wordcount_reduce"]
+
+_WORD_RE = re.compile(r"[a-z0-9']+")
+
+
+def tokenize(text: str) -> list[str]:
+    """Lowercased word tokens."""
+    return _WORD_RE.findall(text.lower())
+
+
+def wordcount_map(key: object, value: str, emit: Callable[[str, int], None]) -> None:
+    """map(): emit (word, 1) per token of the input line/chunk."""
+    for word in tokenize(value):
+        emit(word, 1)
+
+
+def wordcount_reduce(key: str, values: Iterable[int], emit: Callable[[str, int], None]) -> None:
+    """reduce(): sum the counts for one word."""
+    emit(key, sum(values))

@@ -1,0 +1,146 @@
+"""Tests for series containers, shape predicates, and reports."""
+
+import pytest
+
+from repro.analysis import (
+    Series,
+    ascii_chart,
+    crossover_x,
+    format_table,
+    is_monotonic,
+    log_slope,
+    paper_comparison_rows,
+    ratio_between,
+    scaling_efficiency,
+)
+from repro.analysis.report import series_table
+
+
+# --------------------------------------------------------------------------- #
+# Series                                                                        #
+# --------------------------------------------------------------------------- #
+def test_series_append_and_lookup():
+    s = Series("t")
+    s.append(1, 10)
+    s.append(2, 20)
+    assert s.y_at(2) == 20
+    assert len(s) == 2
+    assert s.rows() == [(1, 10), (2, 20)]
+    with pytest.raises(KeyError):
+        s.y_at(3)
+
+
+def test_series_length_mismatch_rejected():
+    with pytest.raises(ValueError):
+        Series("bad", xs=[1], ys=[])
+
+
+def test_ascii_chart_renders_legend_and_axes():
+    s1 = Series("alpha", [1, 10, 100], [1, 10, 100])
+    s2 = Series("beta", [1, 10, 100], [100, 10, 1])
+    chart = ascii_chart([s1, s2], title="T", xlabel="X", ylabel="Y")
+    assert "T" in chart
+    assert "alpha" in chart and "beta" in chart
+    assert "o" in chart and "+" in chart
+
+
+def test_ascii_chart_empty():
+    assert "(no data)" in ascii_chart([Series("e")], title="t")
+
+
+def test_ascii_chart_linear_mode():
+    s = Series("lin", [0.0, 1.0], [0.0, 5.0])
+    chart = ascii_chart([s], logx=False, logy=False)
+    assert "lin" in chart
+
+
+# --------------------------------------------------------------------------- #
+# Shapes                                                                        #
+# --------------------------------------------------------------------------- #
+def test_ratio_between():
+    a = Series("a", [1, 2], [10, 10])
+    b = Series("b", [1, 2], [2, 5])
+    assert ratio_between(a, b, 1) == 5
+    assert ratio_between(a, b, 2) == 2
+
+
+def test_crossover_detects_overtake():
+    a = Series("a", [1, 2, 3, 4], [1, 2, 5, 9])
+    b = Series("b", [1, 2, 3, 4], [4, 4, 4, 4])
+    assert crossover_x(a, b) == 3
+
+
+def test_crossover_none_when_never():
+    a = Series("a", [1, 2], [1, 1])
+    b = Series("b", [1, 2], [5, 5])
+    assert crossover_x(a, b) is None
+
+
+def test_crossover_at_start():
+    a = Series("a", [1, 2], [9, 9])
+    b = Series("b", [1, 2], [1, 1])
+    assert crossover_x(a, b) == 1
+
+
+def test_crossover_requires_shared_grid():
+    with pytest.raises(ValueError):
+        crossover_x(Series("a", [1], [1]), Series("b", [2], [1]))
+
+
+def test_is_monotonic():
+    assert is_monotonic([1, 2, 3])
+    assert not is_monotonic([1, 3, 2])
+    assert is_monotonic([3, 2, 1], increasing=False)
+    assert is_monotonic([1, 2, 1.95, 3], tol=0.1)
+
+
+def test_log_slope_perfect_scaling():
+    s = Series("t", [4, 8, 16], [100, 50, 25])
+    assert log_slope(s, 4, 16) == pytest.approx(-1.0)
+    flat = Series("f", [4, 8], [30, 30])
+    assert log_slope(flat, 4, 8) == pytest.approx(0.0)
+    with pytest.raises(ValueError):
+        log_slope(Series("z", [1, 2], [0, 1]), 1, 2)
+
+
+def test_scaling_efficiency():
+    s = Series("t", [4, 8, 16], [100, 50, 40])
+    eff = scaling_efficiency(s)
+    assert eff[0] == pytest.approx(1.0)
+    assert eff[1] == pytest.approx(1.0)
+    assert eff[2] == pytest.approx(100 / 40 / 4)
+    assert scaling_efficiency(Series("e")) == []
+
+
+# --------------------------------------------------------------------------- #
+# Report                                                                        #
+# --------------------------------------------------------------------------- #
+def test_format_table_alignment():
+    rows = [{"a": 1, "b": "xx"}, {"a": 123.5, "b": "y"}]
+    txt = format_table(rows)
+    lines = txt.splitlines()
+    assert lines[0].startswith("a")
+    assert len(lines) == 4
+    assert format_table([]) == "(empty table)"
+
+
+def test_format_table_number_formats():
+    txt = format_table([{"v": 1e9}, {"v": 0.0001}, {"v": 0.0}])
+    assert "e+09" in txt
+    assert "e-04" in txt
+
+
+def test_series_table_shares_x():
+    s1 = Series("one", [1, 2], [10, 20])
+    s2 = Series("two", [1, 2], [30, 40])
+    txt = series_table([s1, s2], x_name="nodes")
+    assert "nodes" in txt and "one" in txt and "two" in txt
+    assert series_table([]) == "(no series)"
+
+
+def test_paper_comparison_rows():
+    txt = paper_comparison_rows(
+        "Fig. 2",
+        [("cell wins", "~700 MB/s", "695 MB/s", True), ("ppe slowest", "yes", "yes", False)],
+    )
+    assert "YES" in txt and "NO" in txt and "Fig. 2" in txt

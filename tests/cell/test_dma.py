@@ -1,0 +1,165 @@
+"""Unit tests for the DMA engine's §II-B constraints and timing."""
+
+import pytest
+
+from repro.perf import PAPER_CALIBRATION
+from repro.cell import DMAEngine, DMARequestError
+from repro.sim import Environment
+
+
+@pytest.fixture()
+def engine():
+    env = Environment()
+    return env, DMAEngine(env, PAPER_CALIBRATION)
+
+
+def test_request_size_cap_16k(engine):
+    _env, dma = engine
+    dma.validate(16 * 1024)
+    with pytest.raises(DMARequestError):
+        dma.validate(16 * 1024 + 16)
+
+
+def test_vector_multiple_sizes(engine):
+    _env, dma = engine
+    dma.validate(16)
+    dma.validate(4096)
+    with pytest.raises(DMARequestError):
+        dma.validate(100)  # >=16 but not multiple of 16
+
+
+def test_small_request_sizes(engine):
+    _env, dma = engine
+    for ok in (1, 2, 4, 8):
+        dma.validate(ok)
+    for bad in (3, 5, 6, 7, 9, 15):
+        with pytest.raises(DMARequestError):
+            dma.validate(bad)
+
+
+def test_zero_or_negative_rejected(engine):
+    _env, dma = engine
+    with pytest.raises(DMARequestError):
+        dma.validate(0)
+    with pytest.raises(DMARequestError):
+        dma.validate(-16)
+
+
+def test_unaligned_ls_offset_rejected(engine):
+    _env, dma = engine
+    with pytest.raises(DMARequestError):
+        dma.validate(16, ls_offset=8)
+    dma.validate(16, ls_offset=32)
+
+
+def test_blocking_get_advances_time(engine):
+    env, dma = engine
+
+    def proc():
+        yield from dma.get(16 * 1024)
+        return env.now
+
+    p = env.process(proc())
+    elapsed = env.run(p)
+    expected = PAPER_CALIBRATION.dma_request_latency_s + 16 * 1024 / PAPER_CALIBRATION.dma_bus_bw
+    assert elapsed == pytest.approx(expected)
+
+
+def test_inflight_cap_is_16():
+    env = Environment()
+    dma = DMAEngine(env, PAPER_CALIBRATION)
+    max_seen = [0]
+
+    def issue_many():
+        procs = [dma.issue_get(16 * 1024) for _ in range(40)]
+        yield env.timeout(0)
+        max_seen[0] = max(max_seen[0], dma.inflight)
+        yield env.all_of(procs)
+
+    env.process(issue_many())
+    env.run()
+    assert max_seen[0] <= 16
+    assert dma.stats.requests == 40
+
+
+def test_directions_have_independent_channels():
+    """A get and a put of equal size complete simultaneously (separate
+    8 B/cycle channels per direction, §II-B)."""
+    env = Environment()
+    dma = DMAEngine(env, PAPER_CALIBRATION)
+    done = {}
+
+    def go(tag, inbound):
+        if inbound:
+            yield from dma.get(16 * 1024)
+        else:
+            yield from dma.put(16 * 1024)
+        done[tag] = env.now
+
+    env.process(go("in", True))
+    env.process(go("out", False))
+    env.run()
+    assert done["in"] == pytest.approx(done["out"])
+
+
+def test_same_direction_serializes():
+    env = Environment()
+    dma = DMAEngine(env, PAPER_CALIBRATION)
+    done = []
+
+    def go():
+        yield from dma.get(16 * 1024)
+        done.append(env.now)
+
+    env.process(go())
+    env.process(go())
+    env.run()
+    assert done[1] > done[0]
+
+
+def test_transfer_chunk_splits_large_transfers():
+    env = Environment()
+    dma = DMAEngine(env, PAPER_CALIBRATION)
+
+    def go():
+        yield from dma.transfer_chunk(100 * 1024, inbound=True)
+
+    env.process(go())
+    env.run()
+    # 100 KB / 16 KB = 6.25 → 7 requests.
+    assert dma.stats.requests == 7
+    assert dma.stats.bytes_in == pytest.approx(100 * 1024)
+
+
+def test_stats_track_directions():
+    env = Environment()
+    dma = DMAEngine(env, PAPER_CALIBRATION)
+
+    def go():
+        yield from dma.get(1024)
+        yield from dma.put(2048)
+
+    env.process(go())
+    env.run()
+    assert dma.stats.bytes_in == 1024
+    assert dma.stats.bytes_out == 2048
+    assert dma.stats.total_bytes == 3072
+    assert dma.stats.wait_time_s > 0
+
+
+def test_chunk_time_estimate_matches_measured():
+    env = Environment()
+    dma = DMAEngine(env, PAPER_CALIBRATION)
+    est = dma.chunk_time_estimate(64 * 1024)
+
+    def go():
+        yield from dma.transfer_chunk(64 * 1024, inbound=True)
+        return env.now
+
+    p = env.process(go())
+    measured = env.run(p)
+    assert measured == pytest.approx(est, rel=1e-9)
+
+
+def test_bus_bandwidth_is_25_6_gbps():
+    assert PAPER_CALIBRATION.dma_bus_bw == pytest.approx(25.6e9)

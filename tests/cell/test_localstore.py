@@ -1,0 +1,140 @@
+"""Unit + property tests for the SPE local-store allocator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cell import LocalStore, LocalStoreOverflow
+
+
+def test_capacity_matches_cell_spec():
+    ls = LocalStore()
+    assert ls.size_bytes == 256 * 1024
+
+
+def test_alloc_returns_aligned_offsets():
+    ls = LocalStore(reserved_bytes=0)
+    for i in range(10):
+        off = ls.alloc(f"buf{i}", 100)
+        assert off % 16 == 0
+
+
+def test_alloc_respects_custom_alignment():
+    ls = LocalStore(reserved_bytes=0)
+    ls.alloc("pad", 3)
+    off = ls.alloc("big", 64, align=128)
+    assert off % 128 == 0
+
+
+def test_overflow_raises():
+    ls = LocalStore(size_bytes=1024, reserved_bytes=0)
+    ls.alloc("a", 1000)
+    with pytest.raises(LocalStoreOverflow):
+        ls.alloc("b", 100)
+
+
+def test_reserve_reduces_free_space():
+    ls = LocalStore(size_bytes=1024, reserved_bytes=512)
+    with pytest.raises(LocalStoreOverflow):
+        ls.alloc("a", 1000)
+    ls.alloc("a", 500)
+
+
+def test_duplicate_name_rejected():
+    ls = LocalStore()
+    ls.alloc("x", 16)
+    with pytest.raises(ValueError):
+        ls.alloc("x", 16)
+
+
+def test_free_unknown_raises():
+    with pytest.raises(KeyError):
+        LocalStore().free("ghost")
+
+
+def test_tail_free_returns_space():
+    ls = LocalStore(size_bytes=1024, reserved_bytes=0)
+    ls.alloc("a", 512)
+    ls.alloc("b", 512)
+    with pytest.raises(LocalStoreOverflow):
+        ls.alloc("c", 256)
+    ls.free("b")
+    ls.alloc("c", 256)  # space reclaimed
+
+
+def test_reset_clears_everything():
+    ls = LocalStore()
+    ls.alloc("a", 64)
+    ls.reset()
+    assert "a" not in ls
+    assert ls.free_bytes == ls.size_bytes - ls.used_bytes + ls.free_bytes - ls.free_bytes  # sanity
+    ls.alloc("a", 64)  # name reusable
+
+
+def test_region_lookup():
+    ls = LocalStore(reserved_bytes=0)
+    off = ls.alloc("k", 32)
+    assert ls.region("k") == (off, 32)
+    assert ls.region("none") is None
+
+
+def test_bad_params():
+    with pytest.raises(ValueError):
+        LocalStore(size_bytes=0)
+    with pytest.raises(ValueError):
+        LocalStore(size_bytes=100, reserved_bytes=100)
+    ls = LocalStore()
+    with pytest.raises(ValueError):
+        ls.alloc("n", -1)
+    with pytest.raises(ValueError):
+        ls.alloc("n", 16, align=3)
+
+
+@given(
+    sizes=st.lists(st.integers(min_value=0, max_value=8192), min_size=1, max_size=40)
+)
+@settings(max_examples=60, deadline=None)
+def test_allocations_never_overlap_and_stay_in_bounds(sizes):
+    """No two live regions overlap; every region is inside the store."""
+    ls = LocalStore(reserved_bytes=4096)
+    live = {}
+    for i, size in enumerate(sizes):
+        name = f"r{i}"
+        try:
+            off = ls.alloc(name, size)
+        except LocalStoreOverflow:
+            continue
+        assert off >= 4096
+        assert off + size <= ls.size_bytes
+        for oname, (ooff, osize) in live.items():
+            assert off + size <= ooff or ooff + osize <= off, (
+                f"{name} overlaps {oname}"
+            )
+        live[name] = (off, size)
+
+
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["alloc", "free"]), st.integers(0, 2048)),
+        min_size=1,
+        max_size=60,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_alloc_free_interleaving_keeps_accounting_sane(ops):
+    """used_bytes never exceeds capacity; free after alloc always works."""
+    ls = LocalStore(size_bytes=64 * 1024, reserved_bytes=0)
+    live = []
+    counter = 0
+    for op, size in ops:
+        if op == "alloc":
+            name = f"n{counter}"
+            counter += 1
+            try:
+                ls.alloc(name, size)
+                live.append(name)
+            except LocalStoreOverflow:
+                pass
+        elif live:
+            ls.free(live.pop())
+        assert 0 <= ls.used_bytes <= ls.size_bytes

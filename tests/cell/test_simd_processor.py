@@ -1,0 +1,149 @@
+"""Unit tests for SIMD rules and the PPE/SPE/CellProcessor models."""
+
+import numpy as np
+import pytest
+
+from repro.perf import PAPER_CALIBRATION
+from repro.cell import (
+    CellProcessor,
+    SIMDAlignmentError,
+    check_alignment,
+    pad_to_vector,
+    vector_op_count,
+)
+from repro.sim import Environment
+
+
+# --------------------------------------------------------------------------- #
+# SIMD                                                                          #
+# --------------------------------------------------------------------------- #
+def test_check_alignment_accepts_vector_multiples():
+    check_alignment(0)
+    check_alignment(16)
+    check_alignment(4096, offset=16)
+
+
+def test_check_alignment_rejects_bad_length():
+    with pytest.raises(SIMDAlignmentError):
+        check_alignment(17)
+
+
+def test_check_alignment_rejects_bad_offset():
+    with pytest.raises(SIMDAlignmentError):
+        check_alignment(16, offset=8)
+
+
+def test_pad_to_vector_pads_up():
+    out = pad_to_vector(b"\x01" * 17)
+    assert out.size == 32
+    assert out[:17].tolist() == [1] * 17
+    assert out[17:].tolist() == [0] * 15
+
+
+def test_pad_to_vector_noop_on_aligned():
+    out = pad_to_vector(b"\x02" * 32)
+    assert out.size == 32
+
+
+def test_pad_returns_copy():
+    src = np.zeros(16, dtype=np.uint8)
+    out = pad_to_vector(src)
+    out[0] = 9
+    assert src[0] == 0
+
+
+def test_vector_op_count():
+    assert vector_op_count(0) == 0
+    assert vector_op_count(1) == 1
+    assert vector_op_count(16) == 1
+    assert vector_op_count(17) == 2
+    with pytest.raises(ValueError):
+        vector_op_count(-1)
+
+
+# --------------------------------------------------------------------------- #
+# Processor                                                                     #
+# --------------------------------------------------------------------------- #
+def test_cell_has_eight_spes():
+    env = Environment()
+    cell = CellProcessor(env, 0, PAPER_CALIBRATION)
+    assert cell.spe_count == 8
+    for spe in cell.spes:
+        assert spe.local_store.size_bytes == 256 * 1024
+
+
+def test_spe_compute_serializes():
+    env = Environment()
+    cell = CellProcessor(env, 0, PAPER_CALIBRATION)
+    spe = cell.spes[0]
+    ends = []
+
+    def work():
+        yield from spe.compute(1.0)
+        ends.append(env.now)
+
+    env.process(work())
+    env.process(work())
+    env.run()
+    assert ends == [1.0, 2.0]
+    assert spe.busy_s == pytest.approx(2.0)
+
+
+def test_spes_run_in_parallel():
+    env = Environment()
+    cell = CellProcessor(env, 0, PAPER_CALIBRATION)
+    ends = []
+
+    def work(spe):
+        yield from spe.compute(1.0)
+        ends.append(env.now)
+
+    for spe in cell.spes:
+        env.process(work(spe))
+    env.run()
+    assert ends == [1.0] * 8
+    assert cell.total_spe_busy_s() == pytest.approx(8.0)
+
+
+def test_spe_rejects_negative_compute():
+    env = Environment()
+    cell = CellProcessor(env, 0, PAPER_CALIBRATION)
+
+    def bad():
+        yield from cell.spes[0].compute(-1)
+
+    env.process(bad())
+    with pytest.raises(ValueError):
+        env.run()
+
+
+def test_ppe_copy_charges_memcpy_bandwidth():
+    env = Environment()
+    cell = CellProcessor(env, 0, PAPER_CALIBRATION)
+
+    def copy():
+        yield from cell.ppe.copy(PAPER_CALIBRATION.ppe_memcpy_bw)  # 1 second worth
+        return env.now
+
+    p = env.process(copy())
+    assert env.run(p) == pytest.approx(1.0)
+    assert cell.ppe.busy_s == pytest.approx(1.0)
+
+
+def test_ppe_compute_serializes_with_copy():
+    env = Environment()
+    cell = CellProcessor(env, 0, PAPER_CALIBRATION)
+    ends = []
+
+    def compute():
+        yield from cell.ppe.compute(1.0)
+        ends.append(("compute", env.now))
+
+    def copy():
+        yield from cell.ppe.copy(PAPER_CALIBRATION.ppe_memcpy_bw / 2)
+        ends.append(("copy", env.now))
+
+    env.process(compute())
+    env.process(copy())
+    env.run()
+    assert ends == [("compute", 1.0), ("copy", 1.5)]

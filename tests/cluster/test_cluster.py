@@ -1,0 +1,194 @@
+"""Unit tests for node specs, disks, network, and topology assembly."""
+
+import pytest
+
+from repro.perf import PAPER_CALIBRATION
+from repro.perf.calibration import GB, MB
+from repro.cluster import (
+    Cluster,
+    ClusterSpec,
+    Disk,
+    JS22_SPEC,
+    Network,
+    Node,
+    QS22_SPEC,
+    build_cluster,
+)
+from repro.sim import Environment
+
+CAL = PAPER_CALIBRATION
+
+
+# --------------------------------------------------------------------------- #
+# Specs                                                                         #
+# --------------------------------------------------------------------------- #
+def test_qs22_matches_paper():
+    assert QS22_SPEC.cell_sockets == 2
+    assert QS22_SPEC.memory_bytes == 8 * GB
+    assert QS22_SPEC.has_accelerator
+    assert all(c.clock_hz == 3.2e9 for c in QS22_SPEC.cpus)
+
+
+def test_js22_matches_paper():
+    assert JS22_SPEC.total_cores == 4
+    assert JS22_SPEC.cell_sockets == 0
+    assert not JS22_SPEC.has_accelerator
+    assert JS22_SPEC.cpus[0].clock_hz == 4.0e9
+
+
+# --------------------------------------------------------------------------- #
+# Node                                                                          #
+# --------------------------------------------------------------------------- #
+def test_node_has_disk_loopback_cpu():
+    env = Environment()
+    node = Node(env, 1, QS22_SPEC, CAL)
+    assert node.disk.bandwidth_bps == CAL.disk_bw
+    assert node.loopback.bandwidth_bps == CAL.loopback_bw
+    assert node.cpu.capacity == 2  # one PPE per Cell socket
+
+
+def test_node_kernel_busy_accounting():
+    env = Environment()
+    node = Node(env, 1, QS22_SPEC, CAL)
+    node.record_kernel_busy(1.5)
+    node.record_kernel_busy(0.5)
+    assert node.kernel_busy_s == 2.0
+    with pytest.raises(ValueError):
+        node.record_kernel_busy(-1)
+
+
+def test_node_without_cells_has_no_accelerator():
+    env = Environment()
+    node = Node(env, 1, QS22_SPEC, CAL)
+    assert not node.has_accelerator  # cells attached by the topology builder
+
+
+# --------------------------------------------------------------------------- #
+# Disk                                                                          #
+# --------------------------------------------------------------------------- #
+def test_disk_read_time_includes_seek():
+    env = Environment()
+    disk = Disk(env, bandwidth_bps=100 * MB, seek_s=0.01)
+
+    def go():
+        yield from disk.read(100 * MB)
+        return env.now
+
+    assert env.run(env.process(go())) == pytest.approx(1.01)
+    assert disk.bytes_read == 100 * MB
+
+
+def test_disk_requests_serialize():
+    env = Environment()
+    disk = Disk(env, bandwidth_bps=100 * MB, seek_s=0.0)
+    ends = []
+
+    def go():
+        yield from disk.write(50 * MB)
+        ends.append(env.now)
+
+    env.process(go())
+    env.process(go())
+    env.run()
+    assert ends == [pytest.approx(0.5), pytest.approx(1.0)]
+    assert disk.bytes_written == 100 * MB
+
+
+# --------------------------------------------------------------------------- #
+# Network                                                                       #
+# --------------------------------------------------------------------------- #
+def make_two_nodes():
+    env = Environment()
+    net = Network(env, CAL)
+    a = Node(env, 1, QS22_SPEC, CAL)
+    b = Node(env, 2, QS22_SPEC, CAL)
+    net.attach(a)
+    net.attach(b)
+    return env, net, a, b
+
+
+def test_same_node_transfer_uses_loopback():
+    env, net, a, _b = make_two_nodes()
+
+    def go():
+        yield from net.transfer(a, a, 64 * MB)
+
+    env.process(go())
+    env.run()
+    assert net.local_bytes == 64 * MB
+    assert net.remote_bytes == 0
+    assert a.loopback.bytes_transferred == 64 * MB
+
+
+def test_remote_transfer_crosses_nics():
+    env, net, a, b = make_two_nodes()
+
+    def go():
+        yield from net.transfer(a, b, 64 * MB)
+
+    env.process(go())
+    env.run()
+    assert net.remote_bytes == 64 * MB
+    assert net.nic(1).bytes_sent == 64 * MB
+    assert net.nic(2).bytes_received == 64 * MB
+
+
+def test_remote_slower_than_wire_due_to_stages():
+    env, net, a, b = make_two_nodes()
+
+    def go():
+        yield from net.transfer(a, b, 117 * MB)  # 1 second at NIC rate
+        return env.now
+
+    elapsed = env.run(env.process(go()))
+    assert elapsed > 1.0  # NIC + backplane + NIC serialization
+
+
+def test_double_attach_rejected():
+    env, net, a, _b = make_two_nodes()
+    with pytest.raises(ValueError):
+        net.attach(a)
+
+
+def test_transfer_time_estimate_orders_local_remote():
+    env, net, _a, _b = make_two_nodes()
+    assert net.transfer_time_estimate(False, MB) < net.transfer_time_estimate(True, MB)
+
+
+# --------------------------------------------------------------------------- #
+# Topology                                                                      #
+# --------------------------------------------------------------------------- #
+def test_build_cluster_shape():
+    cl = build_cluster(8)
+    assert len(cl.workers) == 8
+    assert cl.master.spec is JS22_SPEC
+    assert all(len(w.cells) == 2 for w in cl.workers)
+    assert cl.total_mapper_slots() == 16
+    assert len(cl.nodes) == 9
+
+
+def test_node_by_id_roundtrip():
+    cl = build_cluster(4)
+    for n in cl.nodes:
+        assert cl.node_by_id(n.node_id) is n
+
+
+def test_accelerated_fraction_mixes_nodes():
+    cl = build_cluster(10, accelerated_fraction=0.5)
+    assert len(cl.accelerated_workers) == 5
+    bare = [w for w in cl.workers if not w.has_accelerator]
+    assert len(bare) == 5
+    assert all(not w.cells for w in bare)
+
+
+def test_cluster_spec_validation():
+    with pytest.raises(ValueError):
+        ClusterSpec(worker_nodes=0)
+    with pytest.raises(ValueError):
+        ClusterSpec(worker_nodes=4, accelerated_fraction=1.5)
+
+
+def test_cluster_hostnames_unique():
+    cl = build_cluster(12)
+    names = [n.hostname for n in cl.nodes]
+    assert len(set(names)) == len(names)

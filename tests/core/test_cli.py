@@ -1,0 +1,85 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import BACKENDS, build_parser, main
+
+
+def run_cli(argv):
+    buf = io.StringIO()
+    code = main(argv, out=buf)
+    return code, buf.getvalue()
+
+
+def test_info_prints_calibration():
+    code, out = run_cli(["info"])
+    assert code == 0
+    assert "700 MB/s" in out
+    assert "RecordReader stream" in out
+    assert "SPU chunk" in out
+
+
+def test_fig2_prints_all_curves():
+    code, out = run_cli(["fig2"])
+    assert code == 0
+    for label in ("Cell BE", "MapReduce Cell", "PPC", "Power 6"):
+        assert label in out
+
+
+def test_fig6_prints_rates():
+    code, out = run_cli(["fig6"])
+    assert code == 0
+    assert "Samples/sec" in out
+
+
+def test_fig5_reduced_sweep():
+    code, out = run_cli(["fig5", "--nodes", "4", "8", "--data-gb", "8"])
+    assert code == 0
+    assert "Empty Mapper" in out and "Cell Mapper" in out
+
+
+def test_fig7_reduced_sweep():
+    code, out = run_cli(["fig7", "--nodes", "4", "--samples", "1e4", "1e9"])
+    assert code == 0
+    assert "Java Mapper" in out
+
+
+def test_fig8_reduced_sweep():
+    code, out = run_cli(["fig8", "--nodes", "2", "4", "--samples", "1e9"])
+    assert code == 0
+    assert "10x" in out
+
+
+def test_fig4_reduced_sweep():
+    code, out = run_cli(["fig4", "--nodes", "4"])
+    assert code == 0
+    assert "Cell BE Mapper" in out
+
+
+def test_single_encrypt_job():
+    code, out = run_cli(["encrypt", "--nodes", "2", "--data-gb", "2", "--backend", "cell"])
+    assert code == 0
+    assert "succeeded" in out
+    assert "delivery_fraction" in out
+
+
+def test_single_pi_job():
+    code, out = run_cli(["pi", "--nodes", "2", "--samples", "1e8", "--backend", "java"])
+    assert code == 0
+    assert "succeeded" in out
+
+
+def test_backend_aliases_cover_all():
+    assert set(BACKENDS) >= {"java", "cell", "empty", "cell-mr", "java-power6"}
+
+
+def test_parser_rejects_unknown_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["nonsense"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

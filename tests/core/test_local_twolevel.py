@@ -1,0 +1,136 @@
+"""Tests for the LocalExecutor and the functional two-level pipeline."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import LocalExecutor, TwoLevelEncryptor
+from repro.workloads import synthetic_text, tokenize, wordcount_map, wordcount_reduce
+from repro.workloads.generators import random_bytes
+
+
+# --------------------------------------------------------------------------- #
+# LocalExecutor                                                                 #
+# --------------------------------------------------------------------------- #
+def test_wordcount_matches_counter():
+    text = synthetic_text(500, seed=11)
+    ex = LocalExecutor(num_reducers=4)
+    out = ex.run(
+        [(i, line) for i, line in enumerate(text.splitlines())],
+        wordcount_map,
+        wordcount_reduce,
+    )
+    expected = Counter(tokenize(text))
+    assert dict(out) == dict(expected)
+
+
+def test_combiner_reduces_intermediate_volume_same_answer():
+    text = synthetic_text(400, seed=12)
+    inputs = [(i, line) for i, line in enumerate(text.splitlines())]
+    plain = LocalExecutor(num_reducers=2)
+    out_plain = plain.run(inputs, wordcount_map, wordcount_reduce)
+    combined = LocalExecutor(num_reducers=2)
+    out_comb = combined.run(inputs, wordcount_map, wordcount_reduce, combiner=wordcount_reduce)
+    assert dict(out_plain) == dict(out_comb)
+    assert (
+        combined.counters["combine_output_records"]
+        < plain.counters["map_output_records"]
+    )
+
+
+def test_map_only_job_returns_sorted_pairs():
+    ex = LocalExecutor()
+    out = ex.run([(0, "b a c")], wordcount_map, reduce_fn=None)
+    assert out == [("a", 1), ("b", 1), ("c", 1)]
+
+
+def test_counters_track_phases():
+    ex = LocalExecutor(num_reducers=2)
+    ex.run([(0, "x y"), (1, "x")], wordcount_map, wordcount_reduce)
+    assert ex.counters["map_input_records"] == 2
+    assert ex.counters["map_output_records"] == 3
+    assert ex.counters["reduce_input_groups"] == 2
+
+
+def test_num_reducers_validated():
+    with pytest.raises(ValueError):
+        LocalExecutor(num_reducers=0)
+
+
+def test_deterministic_output_order():
+    inputs = [(i, "m n o m") for i in range(5)]
+    a = LocalExecutor(num_reducers=3).run(inputs, wordcount_map, wordcount_reduce)
+    b = LocalExecutor(num_reducers=3).run(inputs, wordcount_map, wordcount_reduce)
+    assert a == b
+
+
+@given(
+    words=st.lists(st.sampled_from(["map", "reduce", "cell", "spu", "node"]), max_size=60),
+    reducers=st.integers(min_value=1, max_value=5),
+)
+@settings(max_examples=40, deadline=None)
+def test_wordcount_property_any_partitioning(words, reducers):
+    """Reducer count never changes the answer (partitioning soundness)."""
+    text = " ".join(words)
+    ex = LocalExecutor(num_reducers=reducers)
+    out = ex.run([(0, text)], wordcount_map, wordcount_reduce)
+    assert dict(out) == dict(Counter(words))
+
+
+# --------------------------------------------------------------------------- #
+# Two-level functional pipeline                                                 #
+# --------------------------------------------------------------------------- #
+def test_twolevel_matches_reference_encryption():
+    data = random_bytes(256 * 1024, seed=21)
+    enc = TwoLevelEncryptor(key=b"k" * 16, nonce=b"n" * 8, record_bytes=64 * 1024)
+    assert enc.encrypt(data) == enc.reference_encrypt(data)
+
+
+def test_twolevel_roundtrip():
+    data = random_bytes(64 * 1024, seed=22)
+    enc = TwoLevelEncryptor(key=b"q" * 16, record_bytes=16 * 1024)
+    assert enc.decrypt(enc.encrypt(data)) == data
+
+
+def test_twolevel_record_size_does_not_change_output():
+    data = random_bytes(128 * 1024, seed=23)
+    outs = {
+        TwoLevelEncryptor(b"k" * 16, record_bytes=r).encrypt(data)
+        for r in (16 * 1024, 32 * 1024, 128 * 1024)
+    }
+    assert len(outs) == 1
+
+
+def test_twolevel_chunk_size_does_not_change_output():
+    data = random_bytes(64 * 1024, seed=24)
+    outs = {
+        TwoLevelEncryptor(b"k" * 16, record_bytes=64 * 1024, chunk_bytes=c).encrypt(data)
+        for c in (1024, 4096, 16 * 1024)
+    }
+    assert len(outs) == 1
+
+
+def test_twolevel_uses_paper_chunk_default():
+    enc = TwoLevelEncryptor(b"k" * 16)
+    assert enc.chunk_bytes == 4096
+
+
+def test_twolevel_rejects_unaligned_input():
+    enc = TwoLevelEncryptor(b"k" * 16)
+    with pytest.raises(ValueError):
+        enc.encrypt(b"x" * 17)
+
+
+def test_twolevel_rejects_bad_record_size():
+    with pytest.raises(ValueError):
+        TwoLevelEncryptor(b"k" * 16, record_bytes=100)
+
+
+@given(size_blocks=st.integers(min_value=1, max_value=64))
+@settings(max_examples=20, deadline=None)
+def test_twolevel_equivalence_property(size_blocks):
+    data = random_bytes(size_blocks * 16, seed=size_blocks)
+    enc = TwoLevelEncryptor(b"p" * 16, record_bytes=256, chunk_bytes=64)
+    assert enc.encrypt(data) == enc.reference_encrypt(data)

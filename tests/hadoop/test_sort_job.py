@@ -1,0 +1,71 @@
+"""Tests for the Terasort-style distributed job (map + shuffle + reduce)."""
+
+import pytest
+
+from repro.perf import Backend, PAPER_CALIBRATION
+from repro.perf.calibration import GB, MB
+from repro.core import run_sort_job
+from repro.core.simexec import SimulatedCluster
+from repro.hadoop import JobConf
+from repro.hadoop.job import JobState, TaskKind
+
+CAL = PAPER_CALIBRATION
+
+
+def test_sort_job_succeeds_with_full_shuffle():
+    result, sim = run_sort_job(2, 4 * GB, return_cluster=True)
+    assert result.state is JobState.SUCCEEDED
+    assert result.num_reduces == 2
+    # Sort is size-preserving: all map output shuffles to reducers.
+    assert result.counters["map_output_bytes"] == pytest.approx(4 * GB)
+    assert result.counters["reduce_shuffle_bytes"] == pytest.approx(4 * GB, rel=0.01)
+
+
+def test_sort_reducers_start_after_all_maps():
+    result = run_sort_job(2, 2 * GB)
+    maps_end = max(t.end_time for t in result.tasks if t.kind is TaskKind.MAP)
+    for t in result.tasks:
+        if t.kind is TaskKind.REDUCE:
+            assert t.start_time >= maps_end
+
+
+def test_sort_output_written_to_hdfs():
+    result, sim = run_sort_job(2, 2 * GB, return_cluster=True)
+    out_files = [p for p in sim.namenode.list_files() if p.startswith("/out/")]
+    assert len(out_files) == result.num_reduces
+    total_out = sum(sim.namenode.file_meta(p).size for p in out_files)
+    assert total_out == pytest.approx(2 * GB, rel=0.01)
+
+
+def test_sort_slower_than_map_only_encryption():
+    """The extra shuffle + merge + HDFS write phases cost real time."""
+    from repro.core import run_encryption_job
+
+    sort = run_sort_job(2, 2 * GB)
+    enc = run_encryption_job(2, 2 * GB, Backend.JAVA_PPE)
+    assert sort.makespan_s > enc.makespan_s * 1.1
+
+
+def test_sort_reduce_count_configurable():
+    result = run_sort_job(2, 2 * GB, num_reduce_tasks=4)
+    assert result.num_reduces == 4
+
+
+def test_concurrent_jobs_share_the_cluster():
+    """Two jobs submitted together both finish; the cluster interleaves
+    them (FIFO task feeding across jobs on each heartbeat)."""
+    sim = SimulatedCluster(3)
+    sim.ingest("/a", 2 * GB)
+    sim.start()
+    j1 = sim.jobtracker.submit_job(JobConf(
+        name="j1", workload="aes", backend=Backend.JAVA_PPE,
+        input_path="/a", num_map_tasks=6))
+    j2 = sim.jobtracker.submit_job(JobConf(
+        name="j2", workload="pi", backend=Backend.JAVA_PPE,
+        samples=2e9, num_map_tasks=6))
+    r1 = sim.env.run(j1.completion)
+    r2 = sim.env.run(j2.completion) if not j2.completion.triggered else j2.result()
+    assert r1.state is JobState.SUCCEEDED
+    assert r2.state is JobState.SUCCEEDED
+    # Overlap: the second job started before the first finished.
+    assert r2.launch_time < r1.finish_time

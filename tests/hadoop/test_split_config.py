@@ -1,0 +1,125 @@
+"""Unit tests for JobConf validation and split computation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.perf import Backend
+from repro.perf.calibration import MB
+from repro.hadoop import InputFormat, JobConf
+from repro.hdfs.blocks import Block, FileMeta
+
+
+def make_meta(size, block_size=64 * MB, nodes=4):
+    meta = FileMeta(path="/f", size=size, block_size=block_size)
+    nblocks = -(-size // block_size)
+    for i in range(nblocks):
+        bsize = min(block_size, size - i * block_size)
+        b = Block(i, "/f", i, bsize)
+        b.locations = [i % nodes + 1]
+        meta.blocks.append(b)
+    return meta
+
+
+# --------------------------------------------------------------------------- #
+# JobConf                                                                       #
+# --------------------------------------------------------------------------- #
+def test_jobconf_aes_requires_input():
+    with pytest.raises(ValueError):
+        JobConf(workload="aes", input_path=None)
+
+
+def test_jobconf_pi_requires_samples_and_maps():
+    with pytest.raises(ValueError):
+        JobConf(workload="pi", samples=0, num_map_tasks=4)
+    with pytest.raises(ValueError):
+        JobConf(workload="pi", samples=100, num_map_tasks=None)
+    conf = JobConf(workload="pi", samples=100, num_map_tasks=4)
+    assert not conf.is_data_driven
+
+
+def test_jobconf_unknown_workload():
+    with pytest.raises(ValueError):
+        JobConf(workload="mystery", input_path="/x")
+
+
+def test_jobconf_defaults_match_paper():
+    conf = JobConf(workload="aes", input_path="/x")
+    assert conf.record_bytes == 64 * MB
+    assert conf.num_reduce_tasks == 0
+    assert conf.backend is Backend.JAVA_PPE
+
+
+# --------------------------------------------------------------------------- #
+# InputFormat                                                                   #
+# --------------------------------------------------------------------------- #
+def test_split_size_is_filesize_over_nummappers():
+    meta = make_meta(1000 * MB)
+    splits = InputFormat.compute_splits(meta, num_splits=8)
+    assert len(splits) == 8
+    assert splits[0].length == 125 * MB
+    assert sum(s.length for s in splits) == 1000 * MB
+
+
+def test_default_one_split_per_block():
+    meta = make_meta(200 * MB)
+    splits = InputFormat.compute_splits(meta)
+    assert [s.length for s in splits] == [64 * MB, 64 * MB, 64 * MB, 8 * MB]
+
+
+def test_explicit_split_bytes():
+    meta = make_meta(100 * MB)
+    splits = InputFormat.compute_splits(meta, split_bytes=30 * MB)
+    assert [s.length for s in splits] == [30 * MB, 30 * MB, 30 * MB, 10 * MB]
+
+
+def test_splits_are_contiguous_and_disjoint():
+    meta = make_meta(999 * MB)
+    splits = InputFormat.compute_splits(meta, num_splits=7)
+    pos = 0
+    for s in splits:
+        assert s.offset == pos
+        pos = s.end
+    assert pos == meta.size
+
+
+def test_both_num_and_size_rejected():
+    meta = make_meta(64 * MB)
+    with pytest.raises(ValueError):
+        InputFormat.compute_splits(meta, num_splits=2, split_bytes=MB)
+
+
+def test_empty_file_no_splits():
+    meta = make_meta(0)
+    assert InputFormat.compute_splits(meta) == []
+
+
+def test_preferred_nodes_ranked_by_coverage():
+    meta = make_meta(128 * MB, nodes=2)  # blocks alternate between nodes 1, 2
+    # A split covering 1.5 blocks: the first block's node holds more bytes.
+    pref = InputFormat.preferred_nodes(meta, 0, 96 * MB)
+    assert pref[0] == meta.blocks[0].locations[0]
+    assert set(pref) == {1, 2}
+
+
+def test_preferred_nodes_top_limit():
+    meta = make_meta(64 * MB * 6, nodes=6)
+    pref = InputFormat.preferred_nodes(meta, 0, meta.size, top=3)
+    assert len(pref) == 3
+
+
+@given(
+    size=st.integers(min_value=1, max_value=10_000),
+    num=st.integers(min_value=1, max_value=32),
+)
+@settings(max_examples=80, deadline=None)
+def test_split_partition_property(size, num):
+    """Splits always tile the file exactly, regardless of size/num."""
+    meta = make_meta(size, block_size=128)
+    splits = InputFormat.compute_splits(meta, num_splits=num)
+    assert sum(s.length for s in splits) == size
+    pos = 0
+    for s in splits:
+        assert s.offset == pos
+        assert s.length > 0
+        pos = s.end

@@ -1,0 +1,111 @@
+"""Property-based tests for HDFS block management (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.perf import PAPER_CALIBRATION
+from repro.cluster import Network, Node, QS22_SPEC
+from repro.hdfs import DataNode, HDFSClient, NameNode
+from repro.sim import Environment
+from repro.sim.rng import RandomStreams
+
+CAL = PAPER_CALIBRATION
+
+
+def make_hdfs(n_nodes, block_size):
+    env = Environment()
+    net = Network(env, CAL)
+    nn = NameNode(env, block_size=block_size, rng=RandomStreams(11))
+    for i in range(n_nodes):
+        node = Node(env, i + 1, QS22_SPEC, CAL)
+        net.attach(node)
+        nn.register_datanode(DataNode(node, net))
+    return nn, HDFSClient(nn)
+
+
+@given(
+    size=st.integers(min_value=0, max_value=20_000),
+    block_size=st.integers(min_value=16, max_value=4096),
+    n_nodes=st.integers(min_value=1, max_value=6),
+    placement=st.sampled_from(["roundrobin", "contiguous"]),
+)
+@settings(max_examples=50, deadline=None)
+def test_block_allocation_invariants(size, block_size, n_nodes, placement):
+    """For any file shape and placement policy: block sizes tile the
+    file exactly, only the final block is short, every replica lives on
+    a registered DataNode, and the reverse index agrees."""
+    nn, client = make_hdfs(n_nodes, block_size)
+    meta = client.ingest_file("/f", size, placement=placement)
+    assert sum(b.size for b in meta.blocks) == size
+    for b in meta.blocks[:-1]:
+        assert b.size == block_size
+    if meta.blocks:
+        assert 0 < meta.blocks[-1].size <= block_size
+    for b in meta.blocks:
+        assert len(b.locations) == 1
+        for nid in b.locations:
+            assert nid in nn.datanode_ids
+            assert nn.datanode(nid).has_block(b.block_id)
+            assert b.block_id in {
+                blk.block_id for blk in nn.block_map.blocks_on(nid)
+            }
+
+
+@given(
+    size=st.integers(min_value=1, max_value=20_000),
+    block_size=st.integers(min_value=16, max_value=2048),
+    replication=st.integers(min_value=1, max_value=4),
+    n_nodes=st.integers(min_value=4, max_value=8),
+)
+@settings(max_examples=40, deadline=None)
+def test_replicas_always_distinct_nodes(size, block_size, replication, n_nodes):
+    nn, client = make_hdfs(n_nodes, block_size)
+    meta = client.ingest_file("/f", size, replication=replication)
+    for b in meta.blocks:
+        assert len(b.locations) == replication
+        assert len(set(b.locations)) == replication
+
+
+@given(
+    payload_len=st.integers(min_value=0, max_value=5_000),
+    block_size=st.integers(min_value=32, max_value=512),
+)
+@settings(max_examples=30, deadline=None)
+def test_payload_roundtrip_property(payload_len, block_size):
+    """Any payload sliced into any block size reads back identically."""
+    import numpy as np
+
+    payload = np.random.default_rng(payload_len).integers(
+        0, 256, payload_len, dtype=np.uint8
+    ).tobytes()
+    nn, client = make_hdfs(3, block_size)
+    client.ingest_file("/f", payload_len, payload=payload)
+    env = nn.env
+    reader = nn.datanode(nn.datanode_ids[0]).node
+
+    def read():
+        data = yield from client.read_file("/f", reader)
+        return data
+
+    got = env.run(env.process(read()))
+    if payload_len == 0:
+        assert got is None
+    else:
+        assert got == payload
+
+
+@given(
+    kill_order=st.permutations([1, 2, 3]),
+)
+@settings(max_examples=10, deadline=None)
+def test_failures_never_corrupt_surviving_replicas(kill_order):
+    """Killing DataNodes in any order leaves consistent metadata."""
+    nn, client = make_hdfs(4, 256)
+    meta = client.ingest_file("/f", 4096, replication=2)
+    for victim in kill_order:
+        nn.handle_datanode_failure(victim)
+        for b in meta.blocks:
+            assert victim not in b.locations
+            for nid in b.locations:
+                assert nid in nn.datanode_ids
+                assert nn.datanode(nid).has_block(b.block_id)

@@ -1,0 +1,200 @@
+"""Integration tests for the extension features: stragglers +
+speculation, dynamic membership, re-replication, and the functional
+distributed-verification mode."""
+
+import pytest
+
+from repro.perf import Backend, PAPER_CALIBRATION
+from repro.perf.calibration import GB, MB
+from repro.core.simexec import SimulatedCluster
+from repro.hadoop import JobConf
+from repro.hadoop.job import JobState, TaskKind
+from repro.workloads.aes import AES128
+from repro.workloads.generators import random_bytes
+
+CAL = PAPER_CALIBRATION
+
+
+# --------------------------------------------------------------------------- #
+# Stragglers + speculative execution                                           #
+# --------------------------------------------------------------------------- #
+def run_pi_with_straggler(speculative: bool):
+    sim = SimulatedCluster(4, slow_nodes={1: 8.0})
+    conf = JobConf(
+        name="straggler", workload="pi", backend=Backend.JAVA_PPE,
+        samples=4e9, num_map_tasks=8, speculative=speculative,
+    )
+    return sim.run_job(conf)
+
+
+def test_straggler_slows_job_without_speculation():
+    normal = SimulatedCluster(4).run_job(JobConf(
+        name="n", workload="pi", backend=Backend.JAVA_PPE,
+        samples=4e9, num_map_tasks=8))
+    slow = run_pi_with_straggler(speculative=False)
+    assert slow.makespan_s > normal.makespan_s * 3
+
+
+def test_speculation_rescues_straggler():
+    """With a free-slot supply, speculation re-runs the slow node's
+    tasks elsewhere and cuts the makespan substantially."""
+    without = run_pi_with_straggler(speculative=False)
+    with_spec = run_pi_with_straggler(speculative=True)
+    assert with_spec.succeeded
+    assert with_spec.counters.get("speculative_attempts", 0) >= 1
+    assert with_spec.makespan_s < without.makespan_s * 0.6
+
+
+def test_speculation_does_not_duplicate_results():
+    result = run_pi_with_straggler(speculative=True)
+    # Every logical map completed exactly once in the bookkeeping.
+    assert all(t.state == "done" for t in result.tasks)
+    assert result.num_maps == 8
+
+
+def test_slow_node_affects_cell_backend_too():
+    fast = SimulatedCluster(2).run_job(JobConf(
+        name="f", workload="pi", backend=Backend.CELL_SPE_DIRECT,
+        samples=4e10, num_map_tasks=4))
+    slow = SimulatedCluster(2, slow_nodes={1: 4.0, 2: 4.0}).run_job(JobConf(
+        name="s", workload="pi", backend=Backend.CELL_SPE_DIRECT,
+        samples=4e10, num_map_tasks=4))
+    assert slow.makespan_s > fast.makespan_s * 2
+
+
+def test_invalid_slowdown_rejected():
+    with pytest.raises(ValueError):
+        SimulatedCluster(2, slow_nodes={1: 0})
+
+
+# --------------------------------------------------------------------------- #
+# Dynamic cluster membership (§V)                                              #
+# --------------------------------------------------------------------------- #
+def test_worker_joining_mid_job_takes_work():
+    """A blade joining while tasks are pending gets fed by the
+    JobTracker and shortens the job."""
+    def run(join: bool) -> tuple[float, set]:
+        sim = SimulatedCluster(2)
+        conf = JobConf(name="dyn", workload="pi", backend=Backend.JAVA_PPE,
+                       samples=2e10, num_map_tasks=16)
+        if join:
+            sim.add_worker_at(10.0)
+        sim.start()
+        job = sim.jobtracker.submit_job(conf)
+        result = sim.env.run(job.completion)
+        assert result.state is JobState.SUCCEEDED
+        trackers = {t.tracker for t in result.tasks if t.kind is TaskKind.MAP}
+        return result.makespan_s, trackers
+
+    base_time, base_trackers = run(join=False)
+    join_time, join_trackers = run(join=True)
+    assert 3 in join_trackers  # the new blade (node id 3) ran maps
+    assert 3 not in base_trackers
+    assert join_time < base_time * 0.85
+
+
+def test_joined_worker_serves_hdfs_writes():
+    sim = SimulatedCluster(2)
+    sim.start()
+    tracker = sim.add_worker_now()
+    assert tracker.tracker_id == 3
+    assert 3 in sim.namenode.datanode_ids
+    assert len(sim.cluster.workers) == 3
+
+
+def test_decommission_mid_job_recovers():
+    sim = SimulatedCluster(3)
+    conf = JobConf(name="dec", workload="pi", backend=Backend.JAVA_PPE,
+                   samples=1e10, num_map_tasks=12)
+    sim.start()
+    job = sim.jobtracker.submit_job(conf)
+
+    def leave():
+        yield sim.env.timeout(15.0)
+        sim.decommission(3, kill_datanode=False)
+
+    sim.env.process(leave())
+    result = sim.env.run(job.completion)
+    assert result.state is JobState.SUCCEEDED
+
+
+# --------------------------------------------------------------------------- #
+# Re-replication                                                               #
+# --------------------------------------------------------------------------- #
+def test_replication_manager_restores_replicas():
+    sim = SimulatedCluster(4, replication_manager=True)
+    sim.client.ingest_file("/in", 4 * 64 * MB, replication=2)
+    sim.start()
+    sim.decommission(1)  # drops that node's replicas
+    sim.env.run(until=sim.env.now + 60)
+    rm = sim.replication_manager
+    assert rm.blocks_repaired >= 1
+    assert rm.under_replicated() == []
+    for block in sim.namenode.file_meta("/in").blocks:
+        assert len(block.locations) == 2
+        assert 1 not in block.locations
+
+
+def test_replication_manager_preserves_payloads():
+    sim = SimulatedCluster(3, replication_manager=True)
+    payload = random_bytes(2 * 64 * MB, seed=5)
+    sim.client.ingest_file("/in", len(payload), payload=payload, replication=2)
+    sim.start()
+    victim = sim.namenode.file_meta("/in").blocks[0].locations[0]
+    sim.decommission(victim)
+    sim.env.run(until=sim.env.now + 60)
+
+    def read():
+        data = yield from sim.client.read_file("/in", sim.cluster.workers[-1])
+        return data
+
+    got = sim.env.run(sim.env.process(read()))
+    assert got == payload
+
+
+def test_replication_manager_reports_lost_blocks():
+    sim = SimulatedCluster(2, replication_manager=True)
+    sim.client.ingest_file("/in", 2 * 64 * MB, replication=1)
+    sim.start()
+    victim = sim.namenode.file_meta("/in").blocks[0].locations[0]
+    sim.decommission(victim)
+    lost = sim.replication_manager.lost_blocks()
+    assert len(lost) >= 1
+
+
+# --------------------------------------------------------------------------- #
+# Functional distributed verification                                          #
+# --------------------------------------------------------------------------- #
+def test_distributed_encryption_is_bit_exact():
+    """End-to-end: real plaintext through HDFS blocks -> splits ->
+    records -> mapper AES -> ciphertext identical to a single-pass
+    reference. This closes the loop between the simulated timing stack
+    and the functional kernels."""
+    calib = CAL.evolve(hdfs_block_bytes=256 * 1024, record_bytes=128 * 1024)
+    key, nonce = b"0123456789abcdef", b"noncenon"
+    plaintext = random_bytes(2 * 1024 * 1024, seed=77)  # 2 MB, 16 records
+    sim = SimulatedCluster(2, calib=calib)
+    sim.ingest("/in", len(plaintext), payload=plaintext)
+    conf = JobConf(
+        name="verify", workload="aes", backend=Backend.CELL_SPE_DIRECT,
+        input_path="/in", num_map_tasks=4, record_bytes=calib.record_bytes,
+        aes_key=key, aes_nonce=nonce,
+    )
+    result = sim.run_job(conf)
+    assert result.succeeded
+    # Reassemble ciphertext in split order.
+    parts = []
+    for task_id in sorted(t.task_id for t in result.tasks if t.kind is TaskKind.MAP):
+        out = sim.jobtracker.map_outputs[(result.job_id, task_id)]
+        assert out.payload is not None
+        parts.append(out.payload)
+    distributed = b"".join(parts)
+    reference = bytes(AES128(key).ctr_crypt(plaintext, nonce))
+    assert distributed == reference
+
+
+def test_functional_mode_requires_valid_key():
+    with pytest.raises(ValueError):
+        JobConf(name="bad", workload="aes", input_path="/x", aes_key=b"short")
+    with pytest.raises(ValueError):
+        JobConf(name="bad", workload="aes", input_path="/x", aes_nonce=b"tiny")

@@ -1,0 +1,229 @@
+"""Integration tests: every figure's qualitative claims, at reduced scale.
+
+These are the reproduction's acceptance tests — each asserts the *shape*
+statements the paper makes about a figure, on configurations small
+enough for the unit-test budget. The full-scale versions (exact paper
+parameters) live in benchmarks/.
+"""
+
+import pytest
+
+from repro.perf import Backend, PAPER_CALIBRATION
+from repro.perf.calibration import GB, MB
+from repro.analysis import Series, crossover_x, is_monotonic, log_slope
+from repro.core import (
+    raw_encryption_bandwidth,
+    raw_pi_rates,
+    run_empty_job,
+    run_encryption_job,
+    run_pi_job,
+)
+
+CAL = PAPER_CALIBRATION
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 2 — raw node encryption                                                  #
+# --------------------------------------------------------------------------- #
+class TestFig2Shapes:
+    @pytest.fixture(scope="class")
+    def fig2(self):
+        return {s.label: s for s in raw_encryption_bandwidth(sizes_mb=(1, 8, 64, 512))}
+
+    def test_cell_plateau_near_700(self, fig2):
+        assert fig2["Cell BE"].y_at(512) == pytest.approx(700, rel=0.05)
+
+    def test_power6_near_45(self, fig2):
+        assert fig2["Power 6"].y_at(512) == pytest.approx(45, rel=0.05)
+
+    def test_ordering_at_large_sizes(self, fig2):
+        order = ["Cell BE", "MapReduce Cell", "Power 6", "PPC"]
+        vals = [fig2[k].y_at(512) for k in order]
+        assert vals == sorted(vals, reverse=True)
+
+    def test_mapreduce_cell_pays_considerable_overhead(self, fig2):
+        assert fig2["MapReduce Cell"].y_at(512) < 0.7 * fig2["Cell BE"].y_at(512)
+
+    def test_cell_curve_ramps_with_size(self, fig2):
+        assert is_monotonic(fig2["Cell BE"].ys)
+        assert fig2["Cell BE"].y_at(1) < fig2["Cell BE"].y_at(512) / 4
+
+    def test_power6_beats_ppe_everywhere(self, fig2):
+        assert all(p6 > ppc for p6, ppc in zip(fig2["Power 6"].ys, fig2["PPC"].ys))
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 6 — raw node Pi                                                          #
+# --------------------------------------------------------------------------- #
+class TestFig6Shapes:
+    @pytest.fixture(scope="class")
+    def fig6(self):
+        return {s.label: s for s in raw_pi_rates(sample_counts=(1e3, 1e5, 1e7, 1e9))}
+
+    def test_cell_order_of_magnitude_at_large_n(self, fig6):
+        assert fig6["Cell BE"].y_at(1e9) / fig6["Power 6"].y_at(1e9) >= 9
+
+    def test_spu_init_hurts_small_problems(self, fig6):
+        assert fig6["Cell BE"].y_at(1e3) < fig6["Power 6"].y_at(1e3)
+        assert fig6["Cell BE"].y_at(1e3) < fig6["PPC"].y_at(1e3)
+
+    def test_crossover_near_1e7(self, fig6):
+        x = crossover_x(fig6["Cell BE"], fig6["Power 6"])
+        assert x == 1e7  # "above the overhead of SPUs initialization"
+
+    def test_rates_monotone_in_problem_size(self, fig6):
+        for s in fig6.values():
+            assert is_monotonic(s.ys, tol=1e-6)
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 4 — distributed encryption, proportional (1 GB/mapper)                   #
+# --------------------------------------------------------------------------- #
+class TestFig4Shapes:
+    @pytest.fixture(scope="class")
+    def fig4(self):
+        nodes = (4, 8)
+        out = {}
+        for backend in (Backend.JAVA_PPE, Backend.CELL_SPE_DIRECT):
+            s = Series(backend.value)
+            for n in nodes:
+                mappers = n * CAL.mappers_per_node
+                r = run_encryption_job(n, mappers * GB, backend)
+                assert r.succeeded
+                s.append(n, r.makespan_s)
+            out[backend] = s
+        return out
+
+    def test_java_and_cell_very_similar(self, fig4):
+        for n in (4, 8):
+            ja = fig4[Backend.JAVA_PPE].y_at(n)
+            ce = fig4[Backend.CELL_SPE_DIRECT].y_at(n)
+            assert ce == pytest.approx(ja, rel=0.1)
+
+    def test_roughly_flat_with_nodes(self, fig4):
+        s = fig4[Backend.JAVA_PPE]
+        assert abs(log_slope(s, 4, 8)) < 0.25
+
+    def test_magnitude_matches_paper_window(self, fig4):
+        # Paper's Fig. 4 sits between ~100 and ~160 s.
+        for s in fig4.values():
+            for y in s.ys:
+                assert 80 < y < 200
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 5 — distributed encryption, fixed data set                               #
+# --------------------------------------------------------------------------- #
+class TestFig5Shapes:
+    @pytest.fixture(scope="class")
+    def fig5(self):
+        data = 24 * GB  # reduced from 120 GB for test budget
+        nodes = (4, 8, 16)
+        out = {}
+        for backend in (Backend.EMPTY, Backend.JAVA_PPE, Backend.CELL_SPE_DIRECT):
+            s = Series(backend.value)
+            for n in nodes:
+                if backend is Backend.EMPTY:
+                    r = run_empty_job(n, data)
+                else:
+                    r = run_encryption_job(n, data, backend)
+                assert r.succeeded
+                s.append(n, r.makespan_s)
+            out[backend] = s
+        return out
+
+    def test_runtime_scales_with_nodes(self, fig5):
+        for s in fig5.values():
+            assert is_monotonic(s.ys, increasing=False)
+            assert log_slope(s, 4, 16) < -0.8  # near-linear on log-log
+
+    def test_acceleration_hardly_noticed(self, fig5):
+        """"the effect of hardware acceleration can be hardly noticed"."""
+        for n in (4, 8, 16):
+            ja = fig5[Backend.JAVA_PPE].y_at(n)
+            ce = fig5[Backend.CELL_SPE_DIRECT].y_at(n)
+            assert abs(ja - ce) / ja < 0.08
+
+    def test_empty_mapper_difference_really_small(self, fig5):
+        for n in (4, 8, 16):
+            ja = fig5[Backend.JAVA_PPE].y_at(n)
+            em = fig5[Backend.EMPTY].y_at(n)
+            assert em <= ja
+            assert (ja - em) / ja < 0.08
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 7 — distributed Pi sweep at fixed nodes                                  #
+# --------------------------------------------------------------------------- #
+class TestFig7Shapes:
+    @pytest.fixture(scope="class")
+    def fig7(self):
+        nodes = 10  # reduced from 50
+        counts = (1e4, 1e7, 1e9, 1e11)
+        out = {}
+        for backend in (Backend.JAVA_PPE, Backend.CELL_SPE_DIRECT):
+            s = Series(backend.value)
+            for c in counts:
+                r = run_pi_job(nodes, c, backend)
+                assert r.succeeded
+                s.append(c, r.makespan_s)
+            out[backend] = s
+        return out
+
+    def test_runtime_floor_at_small_n(self, fig7):
+        """Both mappers sit on the Hadoop floor for tiny problems."""
+        ja, ce = fig7[Backend.JAVA_PPE], fig7[Backend.CELL_SPE_DIRECT]
+        assert ja.y_at(1e4) == pytest.approx(ce.y_at(1e4), rel=0.1)
+        assert ja.y_at(1e4) < 60
+
+    def test_cell_outperforms_when_work_high_enough(self, fig7):
+        ja, ce = fig7[Backend.JAVA_PPE], fig7[Backend.CELL_SPE_DIRECT]
+        assert ja.y_at(1e11) / ce.y_at(1e11) > 10
+
+    def test_java_departs_floor_before_cell(self, fig7):
+        ja, ce = fig7[Backend.JAVA_PPE], fig7[Backend.CELL_SPE_DIRECT]
+        floor = ja.y_at(1e4)
+        # Java has clearly left the floor by 1e9; Cell has not.
+        assert ja.y_at(1e9) > floor * 2
+        assert ce.y_at(1e9) < floor * 1.5
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 8 — distributed Pi scaling with nodes                                    #
+# --------------------------------------------------------------------------- #
+class TestFig8Shapes:
+    @pytest.fixture(scope="class")
+    def fig8(self):
+        samples = 2e10  # reduced from 1e11
+        nodes = (2, 4, 8, 16)
+        out = {}
+        for label, backend, mult in (
+            ("java", Backend.JAVA_PPE, 1),
+            ("cell", Backend.CELL_SPE_DIRECT, 1),
+            ("cell10x", Backend.CELL_SPE_DIRECT, 10),
+        ):
+            s = Series(label)
+            for n in nodes:
+                r = run_pi_job(n, samples * mult, backend)
+                assert r.succeeded
+                s.append(n, r.makespan_s)
+            out[label] = s
+        return out
+
+    def test_java_scales_linearly(self, fig8):
+        assert log_slope(fig8["java"], 2, 16) == pytest.approx(-1.0, abs=0.1)
+
+    def test_cell_one_to_two_orders_faster(self, fig8):
+        for n in (2, 4, 8, 16):
+            ratio = fig8["java"].y_at(n) / fig8["cell"].y_at(n)
+            assert 5 < ratio < 500
+
+    def test_cell_hits_runtime_floor(self, fig8):
+        """Cell stops benefiting from nodes once the floor dominates."""
+        s = fig8["cell"]
+        assert log_slope(s, 8, 16) > -0.5  # clearly sub-linear by then
+
+    def test_cell10x_keeps_scaling_longer(self, fig8):
+        assert log_slope(fig8["cell10x"], 2, 8) < -0.8
+        # Efficiency degrades at the high end relative to the start.
+        assert log_slope(fig8["cell10x"], 8, 16) > log_slope(fig8["cell10x"], 2, 4)

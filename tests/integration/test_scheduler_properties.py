@@ -1,0 +1,101 @@
+"""Property-based tests over the whole Hadoop runtime (hypothesis).
+
+Random job shapes (task counts, node counts, backends, stragglers) must
+always satisfy the scheduler's invariants: completion, exactly-once
+accounting, conservation of work, and locality bookkeeping.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.perf import Backend, PAPER_CALIBRATION
+from repro.perf.calibration import GB, MB
+from repro.core.simexec import SimulatedCluster
+from repro.hadoop import JobConf
+from repro.hadoop.job import JobState, TaskKind
+
+CAL = PAPER_CALIBRATION
+
+
+@given(
+    nodes=st.integers(min_value=1, max_value=6),
+    tasks_per_slot=st.integers(min_value=1, max_value=3),
+    samples_exp=st.integers(min_value=6, max_value=10),
+    backend=st.sampled_from([Backend.JAVA_PPE, Backend.CELL_SPE_DIRECT]),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=25, deadline=None)
+def test_pi_job_always_completes_with_exact_accounting(
+    nodes, tasks_per_slot, samples_exp, backend, seed
+):
+    """Any Pi job shape completes; every task is done exactly once; the
+    sample total is conserved across the split."""
+    sim = SimulatedCluster(nodes, seed=seed)
+    num_maps = nodes * CAL.mappers_per_node * tasks_per_slot
+    samples = float(10**samples_exp)
+    conf = JobConf(
+        name="prop", workload="pi", backend=backend,
+        samples=samples, num_map_tasks=num_maps, num_reduce_tasks=1,
+    )
+    result = sim.run_job(conf)
+    assert result.state is JobState.SUCCEEDED
+    maps = [t for t in result.tasks if t.kind is TaskKind.MAP]
+    assert len(maps) == num_maps
+    assert all(t.state == "done" for t in result.tasks)
+    # Work conservation: per-task sample shares sum to the total (up to
+    # float division of samples/num_map_tasks).
+    assert abs(sum(t.samples for t in maps) - samples) <= 1e-9 * samples
+    # Temporal sanity: every completed task ran inside the job window.
+    for t in result.tasks:
+        assert result.submit_time <= t.start_time <= t.end_time <= result.finish_time
+    # Tasks only ran on registered worker blades.
+    worker_ids = {w.node_id for w in sim.cluster.workers}
+    assert {t.tracker for t in result.tasks} <= worker_ids
+
+
+@given(
+    nodes=st.integers(min_value=1, max_value=4),
+    blocks=st.integers(min_value=1, max_value=12),
+    num_maps=st.integers(min_value=1, max_value=10),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=20, deadline=None)
+def test_encrypt_job_conserves_bytes(nodes, blocks, num_maps, seed):
+    """Any split shape reads every input byte exactly once and writes an
+    equal volume of ciphertext."""
+    calib = CAL.evolve(hdfs_block_bytes=8 * MB, record_bytes=8 * MB)
+    data = blocks * 8 * MB
+    sim = SimulatedCluster(nodes, calib=calib, seed=seed)
+    sim.ingest("/in", data)
+    conf = JobConf(
+        name="prop", workload="aes", backend=Backend.JAVA_PPE,
+        input_path="/in", num_map_tasks=num_maps, record_bytes=8 * MB,
+    )
+    result = sim.run_job(conf)
+    assert result.state is JobState.SUCCEEDED
+    assert result.counters["map_input_bytes"] == data
+    assert result.counters["map_output_bytes"] == data
+    # Split tiling: the splits' byte ranges partition the file.
+    splits = sorted(
+        (t.split for t in result.tasks if t.split is not None),
+        key=lambda s: s.offset,
+    )
+    pos = 0
+    for s in splits:
+        assert s.offset == pos
+        pos = s.end
+    assert pos == data
+
+
+@given(seed=st.integers(min_value=0, max_value=100_000))
+@settings(max_examples=15, deadline=None)
+def test_seed_only_perturbs_not_reorders_scale(seed):
+    """Across seeds the makespan varies only by jitter-scale amounts."""
+    sim = SimulatedCluster(2, seed=seed)
+    conf = JobConf(name="j", workload="pi", backend=Backend.JAVA_PPE,
+                   samples=1e9, num_map_tasks=4)
+    result = sim.run_job(conf)
+    assert result.state is JobState.SUCCEEDED
+    # Floor + compute bounds: generous envelope, but catches runaway
+    # scheduling bugs that a fixed-seed test would miss.
+    assert 10 < result.makespan_s < 300

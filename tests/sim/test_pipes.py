@@ -1,0 +1,116 @@
+"""Unit tests for Pipe and SharedPipe channel models."""
+
+import pytest
+
+from repro.sim import Environment, Pipe
+from repro.sim.pipes import SharedPipe
+
+
+def run_transfers(pipe_factory, sizes, starts=None):
+    env = Environment()
+    pipe = pipe_factory(env)
+    done = {}
+
+    def xfer(i, n, delay):
+        if delay:
+            yield env.timeout(delay)
+        yield env.process(pipe.transfer(n))
+        done[i] = env.now
+
+    starts = starts or [0] * len(sizes)
+    for i, (n, d) in enumerate(zip(sizes, starts)):
+        env.process(xfer(i, n, d))
+    env.run()
+    return pipe, done
+
+
+def test_pipe_single_transfer_time():
+    pipe, done = run_transfers(lambda e: Pipe(e, bandwidth_bps=100, latency_s=0.5), [200])
+    assert done[0] == pytest.approx(2.5)
+
+
+def test_pipe_serializes_concurrent_transfers():
+    pipe, done = run_transfers(lambda e: Pipe(e, bandwidth_bps=100), [100, 100])
+    assert done[0] == pytest.approx(1.0)
+    assert done[1] == pytest.approx(2.0)
+
+
+def test_pipe_per_message_overhead():
+    pipe, done = run_transfers(
+        lambda e: Pipe(e, bandwidth_bps=100, per_message_overhead_s=1.0), [100]
+    )
+    assert done[0] == pytest.approx(2.0)
+
+
+def test_pipe_stats_accumulate():
+    pipe, _done = run_transfers(lambda e: Pipe(e, bandwidth_bps=100), [50, 150])
+    assert pipe.bytes_transferred == 200
+    assert pipe.transfer_count == 2
+
+
+def test_pipe_rejects_bad_parameters():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Pipe(env, bandwidth_bps=0)
+    with pytest.raises(ValueError):
+        Pipe(env, bandwidth_bps=10, latency_s=-1)
+    pipe = Pipe(env, bandwidth_bps=10)
+    with pytest.raises(ValueError):
+        pipe.transfer_time(-5)
+
+
+def test_pipe_zero_bytes_costs_only_latency():
+    pipe, done = run_transfers(lambda e: Pipe(e, bandwidth_bps=100, latency_s=0.25), [0])
+    assert done[0] == pytest.approx(0.25)
+
+
+def test_shared_pipe_fair_sharing_doubles_duration():
+    # Two equal flows through a shared channel each see half bandwidth:
+    # both finish around 2x the solo duration.
+    _pipe, done = run_transfers(
+        lambda e: SharedPipe(e, bandwidth_bps=100, quantum_bytes=10), [100, 100]
+    )
+    assert done[0] == pytest.approx(1.9, rel=0.06)
+    assert done[1] == pytest.approx(2.0, rel=0.01)
+
+
+def test_shared_pipe_solo_flow_full_bandwidth():
+    _pipe, done = run_transfers(
+        lambda e: SharedPipe(e, bandwidth_bps=100, quantum_bytes=10), [100]
+    )
+    assert done[0] == pytest.approx(1.0)
+
+
+def test_shared_pipe_short_flow_not_starved():
+    # A short flow arriving mid-way through a long one completes long
+    # before the long flow does (interleaved quanta).
+    _pipe, done = run_transfers(
+        lambda e: SharedPipe(e, bandwidth_bps=100, quantum_bytes=10),
+        [1000, 50],
+        starts=[0, 1.0],
+    )
+    assert done[1] < done[0] / 2
+
+
+def test_shared_pipe_counts_flows():
+    env = Environment()
+    pipe = SharedPipe(env, bandwidth_bps=100, quantum_bytes=10)
+
+    def xfer():
+        yield env.process(pipe.transfer(100))
+
+    env.process(xfer())
+    env.process(xfer())
+    env.run(until=0.5)
+    assert pipe.active_flows == 2
+    env.run()
+    assert pipe.active_flows == 0
+    assert pipe.transfer_count == 2
+
+
+def test_shared_pipe_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        SharedPipe(env, bandwidth_bps=-1)
+    with pytest.raises(ValueError):
+        SharedPipe(env, bandwidth_bps=10, quantum_bytes=0)

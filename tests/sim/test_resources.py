@@ -1,0 +1,314 @@
+"""Unit tests for Resource/PriorityResource/Container/Store."""
+
+import pytest
+
+from repro.sim import Container, Environment, PriorityResource, Resource, Store
+
+
+# --------------------------------------------------------------------------- #
+# Resource                                                                     #
+# --------------------------------------------------------------------------- #
+def test_resource_serializes_at_capacity():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    log = []
+
+    def worker(i):
+        with res.request() as req:
+            yield req
+            log.append(("start", i, env.now))
+            yield env.timeout(10)
+        log.append(("end", i, env.now))
+
+    for i in range(4):
+        env.process(worker(i))
+    env.run()
+    starts = {i: t for op, i, t in log if op == "start"}
+    assert starts == {0: 0, 1: 0, 2: 10, 3: 10}
+
+
+def test_resource_count_and_queue():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def holder():
+        with res.request() as req:
+            yield req
+            yield env.timeout(5)
+
+    def waiter():
+        yield env.timeout(1)
+        with res.request() as req:
+            yield req
+
+    env.process(holder())
+    env.process(waiter())
+    env.run(until=2)
+    assert res.count == 1
+    assert len(res.queue) == 1
+    env.run()
+    assert res.count == 0
+
+
+def test_resource_capacity_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+
+
+def test_context_manager_releases_on_exception():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def failing():
+        with res.request() as req:
+            yield req
+            raise RuntimeError("die")
+
+    def after():
+        yield env.timeout(1)
+        with res.request() as req:
+            yield req
+            return env.now
+
+    env.process(failing())
+    p = env.process(after())
+    with pytest.raises(RuntimeError):
+        env.run()
+    # The slot was released despite the crash; the second process gets it.
+    assert env.run(p) == 1
+
+
+def test_cancel_queued_request_withdraws_it():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def holder():
+        with res.request() as req:
+            yield req
+            yield env.timeout(10)
+
+    env.process(holder())
+
+    def impatient():
+        yield env.timeout(1)
+        req = res.request()
+        yield env.timeout(1)
+        req.cancel()
+
+    env.process(impatient())
+    env.run(until=3)
+    assert len(res.queue) == 0
+
+
+# --------------------------------------------------------------------------- #
+# PriorityResource                                                             #
+# --------------------------------------------------------------------------- #
+def test_priority_resource_orders_queue():
+    env = Environment()
+    res = PriorityResource(env, capacity=1)
+    order = []
+
+    def holder():
+        with res.request(priority=0) as req:
+            yield req
+            yield env.timeout(10)
+
+    def worker(i, prio, delay):
+        yield env.timeout(delay)
+        with res.request(priority=prio) as req:
+            yield req
+            order.append(i)
+            yield env.timeout(1)
+
+    env.process(holder())
+    env.process(worker("low", 5, 1))
+    env.process(worker("high", 1, 2))
+    env.process(worker("mid", 3, 3))
+    env.run()
+    assert order == ["high", "mid", "low"]
+
+
+def test_priority_ties_fifo():
+    env = Environment()
+    res = PriorityResource(env, capacity=1)
+    order = []
+
+    def holder():
+        with res.request(priority=0) as req:
+            yield req
+            yield env.timeout(5)
+
+    def worker(i):
+        yield env.timeout(1)
+        with res.request(priority=7) as req:
+            yield req
+            order.append(i)
+            yield env.timeout(1)
+
+    env.process(holder())
+    for i in range(3):
+        env.process(worker(i))
+    env.run()
+    assert order == [0, 1, 2]
+
+
+# --------------------------------------------------------------------------- #
+# Container                                                                     #
+# --------------------------------------------------------------------------- #
+def test_container_get_blocks_until_level():
+    env = Environment()
+    tank = Container(env, capacity=100, init=0)
+    got_at = []
+
+    def consumer():
+        yield tank.get(30)
+        got_at.append(env.now)
+
+    def producer():
+        yield env.timeout(2)
+        yield tank.put(20)
+        yield env.timeout(2)
+        yield tank.put(20)
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert got_at == [4]
+    assert tank.level == 10
+
+
+def test_container_put_blocks_at_capacity():
+    env = Environment()
+    tank = Container(env, capacity=50, init=40)
+    put_at = []
+
+    def producer():
+        yield tank.put(20)
+        put_at.append(env.now)
+
+    def consumer():
+        yield env.timeout(3)
+        yield tank.get(15)
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert put_at == [3]
+    assert tank.level == 45
+
+
+def test_container_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Container(env, capacity=0)
+    with pytest.raises(ValueError):
+        Container(env, capacity=10, init=20)
+    tank = Container(env, capacity=10)
+    with pytest.raises(ValueError):
+        tank.put(-1)
+    with pytest.raises(ValueError):
+        tank.get(-1)
+
+
+# --------------------------------------------------------------------------- #
+# Store                                                                         #
+# --------------------------------------------------------------------------- #
+def test_store_fifo_order():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def producer():
+        for i in range(3):
+            yield store.put(i)
+
+    def consumer():
+        for _ in range(3):
+            got.append((yield store.get()))
+
+    env.process(producer())
+    env.process(consumer())
+    env.run()
+    assert got == [0, 1, 2]
+
+
+def test_store_capacity_blocks_put():
+    env = Environment()
+    store = Store(env, capacity=1)
+    put_times = []
+
+    def producer():
+        for i in range(3):
+            yield store.put(i)
+            put_times.append(env.now)
+
+    def consumer():
+        while True:
+            yield env.timeout(5)
+            yield store.get()
+
+    env.process(producer())
+    env.process(consumer())
+    env.run(until=20)
+    assert put_times == [0, 5, 10]
+
+
+def test_store_filtered_get_skips_nonmatching():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer():
+        v = yield store.get(lambda x: x >= 10)
+        got.append(v)
+
+    def producer():
+        yield store.put(1)
+        yield store.put(12)
+        yield store.put(2)
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert got == [12]
+    assert list(store.items) == [1, 2]
+
+
+def test_store_filtered_getter_does_not_block_plain_getter():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def filtered():
+        v = yield store.get(lambda x: x == "never")
+        got.append(("filtered", v))
+
+    def plain():
+        yield env.timeout(1)
+        v = yield store.get()
+        got.append(("plain", v))
+
+    env.process(filtered())
+    env.process(plain())
+
+    def producer():
+        yield env.timeout(2)
+        yield store.put("item")
+
+    env.process(producer())
+    env.run(until=5)
+    assert got == [("plain", "item")]
+
+
+def test_store_len():
+    env = Environment()
+    store = Store(env)
+
+    def producer():
+        yield store.put("a")
+        yield store.put("b")
+
+    env.process(producer())
+    env.run()
+    assert len(store) == 2

@@ -1,0 +1,113 @@
+"""Unit tests for the tracer and the named random streams."""
+
+import numpy as np
+
+from repro.sim import Environment, Tracer
+from repro.sim.rng import RandomStreams
+
+
+# --------------------------------------------------------------------------- #
+# Tracer                                                                       #
+# --------------------------------------------------------------------------- #
+def test_tracer_records_with_timestamps():
+    env = Environment()
+    tracer = Tracer(env)
+
+    def proc():
+        yield env.timeout(2)
+        tracer.emit("hdfs", "block_read", nbytes=64)
+
+    env.process(proc())
+    env.run()
+    recs = list(tracer.select("hdfs"))
+    assert len(recs) == 1
+    assert recs[0].time == 2
+    assert recs[0].attrs["nbytes"] == 64
+
+
+def test_tracer_disabled_still_counts():
+    env = Environment()
+    tracer = Tracer(env, enabled=False)
+    tracer.emit("cat", "evt")
+    tracer.emit("cat", "evt")
+    assert len(tracer) == 0
+    assert tracer.count("cat", "evt") == 2
+    assert tracer.count("cat") == 2
+
+
+def test_tracer_select_filters():
+    env = Environment()
+    tracer = Tracer(env)
+    tracer.emit("a", "x")
+    tracer.emit("a", "y")
+    tracer.emit("b", "x")
+    assert len(list(tracer.select("a"))) == 2
+    assert len(list(tracer.select("a", "y"))) == 1
+    assert len(list(tracer.select(event="x"))) == 2
+
+
+def test_tracer_keep_predicate():
+    env = Environment()
+    tracer = Tracer(env, keep=lambda r: r.attrs.get("big", False))
+    tracer.emit("c", "e", big=True)
+    tracer.emit("c", "e", big=False)
+    assert len(tracer) == 1
+
+
+def test_tracer_clear():
+    env = Environment()
+    tracer = Tracer(env)
+    tracer.emit("c", "e")
+    tracer.clear()
+    assert len(tracer) == 0
+    assert tracer.count("c") == 0
+
+
+def test_trace_record_str():
+    env = Environment()
+    tracer = Tracer(env)
+    tracer.emit("net", "send", nbytes=10)
+    assert "net/send" in str(tracer.records[0])
+
+
+# --------------------------------------------------------------------------- #
+# RandomStreams                                                                #
+# --------------------------------------------------------------------------- #
+def test_streams_reproducible_across_instances():
+    a = RandomStreams(7).stream("x").random(5)
+    b = RandomStreams(7).stream("x").random(5)
+    assert np.allclose(a, b)
+
+
+def test_streams_independent_of_creation_order():
+    r1 = RandomStreams(7)
+    r1.stream("a")
+    x1 = r1.stream("b").random(3)
+
+    r2 = RandomStreams(7)
+    x2 = r2.stream("b").random(3)  # no prior stream("a")
+    assert np.allclose(x1, x2)
+
+
+def test_different_names_differ():
+    r = RandomStreams(7)
+    assert not np.allclose(r.stream("a").random(8), r.stream("b").random(8))
+
+
+def test_different_seeds_differ():
+    a = RandomStreams(1).stream("x").random(8)
+    b = RandomStreams(2).stream("x").random(8)
+    assert not np.allclose(a, b)
+
+
+def test_stream_is_cached():
+    r = RandomStreams(0)
+    assert r.stream("s") is r.stream("s")
+    assert "s" in r
+
+
+def test_negative_seed_rejected():
+    import pytest
+
+    with pytest.raises(ValueError):
+        RandomStreams(-1)
