@@ -1,0 +1,30 @@
+"""Frozen copy of the seed (pre-overhaul) simulation engine.
+
+``engine.py``, ``events.py``, and ``resources.py`` are verbatim copies
+of the seed commit's ``src/repro/sim/`` modules (imports rewired), kept
+as the baseline for ``benchmarks/run_perf.py``'s apples-to-apples engine
+microbenchmarks. Do not optimize these — their entire value is that they
+do not change.
+"""
+
+from benchmarks.legacy.engine import Environment, SimulationError
+from benchmarks.legacy.events import Event, Interrupt, Process, Timeout
+from benchmarks.legacy.resources import (
+    Container,
+    PriorityResource,
+    Resource,
+    Store,
+)
+
+__all__ = [
+    "Container",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "PriorityResource",
+    "Process",
+    "Resource",
+    "SimulationError",
+    "Store",
+    "Timeout",
+]

@@ -1,0 +1,166 @@
+"""The simulation event loop.
+
+:class:`Environment` owns the virtual clock and the event heap. Events are
+ordered by ``(time, priority, sequence)`` so that simultaneous events run
+in a deterministic FIFO order — determinism is a hard requirement for the
+reproduction benchmarks (same seed, same schedule, same numbers).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Optional
+
+from benchmarks.legacy.events import (
+    AllOf,
+    AnyOf,
+    Environment_NORMAL,
+    Environment_URGENT,
+    Event,
+    Process,
+    Timeout,
+)
+
+__all__ = ["Environment", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for structural simulation errors (deadlock, bad run bound)."""
+
+
+class Environment:
+    """A discrete-event simulation environment.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the virtual clock (seconds by convention
+        throughout this project).
+
+    Notes
+    -----
+    The engine is single-threaded and fully deterministic: ties in time
+    are broken by scheduling priority, then by a monotonically increasing
+    sequence number.
+    """
+
+    URGENT = Environment_URGENT
+    NORMAL = Environment_NORMAL
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active_proc: Optional[Process] = None
+        self._processed_count = 0
+
+    # -- clock ---------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_proc
+
+    @property
+    def processed_events(self) -> int:
+        """Total number of events processed so far (monitoring aid)."""
+        return self._processed_count
+
+    # -- event factories -------------------------------------------------------
+    def event(self) -> Event:
+        """Create a new untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that triggers ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator, name: Optional[str] = None) -> Process:
+        """Start a new process from generator ``gen``."""
+        return Process(self, gen, name=name)
+
+    def all_of(self, events) -> AllOf:
+        """Event that triggers when all ``events`` have triggered."""
+        return AllOf(self, events)
+
+    def any_of(self, events) -> AnyOf:
+        """Event that triggers when any of ``events`` has triggered."""
+        return AnyOf(self, events)
+
+    # -- scheduling -------------------------------------------------------------
+    def schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
+        """Place a triggered event on the heap ``delay`` from now."""
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event.
+
+        Raises
+        ------
+        SimulationError
+            If the heap is empty.
+        """
+        if not self._heap:
+            raise SimulationError("no more events to process")
+        t, _prio, _seq, event = heapq.heappop(self._heap)
+        if t < self._now:  # pragma: no cover - defensive; cannot happen
+            raise SimulationError(f"time went backwards: {t} < {self._now}")
+        self._now = t
+        callbacks, event.callbacks = event.callbacks, []
+        event._processed = True
+        self._processed_count += 1
+        for cb in callbacks:
+            cb(event)
+        if event._exc is not None and not event._defused:
+            # Unhandled failure: nobody waited on this event.
+            raise event._exc
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            ``None`` — run until the heap drains.
+            a number — run until the clock reaches that time.
+            an :class:`Event` — run until that event is processed and
+            return its value.
+        """
+        if until is None:
+            while self._heap:
+                self.step()
+            return None
+
+        if isinstance(until, Event):
+            target = until
+            sentinel: list[bool] = []
+            target.callbacks.append(lambda _e: sentinel.append(True))
+            while not sentinel:
+                if not self._heap:
+                    raise SimulationError(
+                        f"simulation ran out of events before {target!r} triggered "
+                        "(deadlock: a process is waiting on an event nobody will fire)"
+                    )
+                self.step()
+            return target._value if target._exc is None else _reraise(target._exc)
+
+        stop_at = float(until)
+        if stop_at < self._now:
+            raise SimulationError(f"run(until={stop_at}) is in the past (now={self._now})")
+        while self._heap and self._heap[0][0] <= stop_at:
+            self.step()
+        self._now = stop_at
+        return None
+
+
+def _reraise(exc: BaseException) -> Any:
+    raise exc

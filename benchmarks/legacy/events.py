@@ -8,11 +8,10 @@ their generator terminates, which is what makes ``yield process`` a join.
 
 from __future__ import annotations
 
-from heapq import heappush
 from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.sim.engine import Environment
+    from benchmarks.legacy.engine import Environment
 
 __all__ = [
     "AllOf",
@@ -98,10 +97,7 @@ class Event:
             raise RuntimeError(f"{self!r} already triggered")
         self._value = value
         self._triggered = True
-        # Inlined Environment.schedule (hot path: every grant/put/get).
-        env = self.env
-        env._seq = seq = env._seq + 1
-        heappush(env._heap, (env._now, Environment_NORMAL, seq, self))
+        self.env.schedule(self)
         return self
 
     def fail(self, exc: BaseException) -> "Event":
@@ -112,9 +108,7 @@ class Event:
             raise TypeError("fail() requires an exception instance")
         self._exc = exc
         self._triggered = True
-        env = self.env
-        env._seq = seq = env._seq + 1
-        heappush(env._heap, (env._now, Environment_NORMAL, seq, self))
+        self.env.schedule(self)
         return self
 
     def trigger(self, event: "Event") -> None:
@@ -137,57 +131,34 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that triggers ``delay`` time units after creation.
+    """An event that triggers ``delay`` time units after creation."""
 
-    ``_recycle`` marks instances owned by the environment's free-list
-    (see :meth:`Environment.pooled_timeout`): the engine reclaims them as
-    soon as their callbacks have run.
-    """
-
-    __slots__ = ("delay", "_recycle")
+    __slots__ = ("delay",)
 
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
-        delay = float(delay)
-        # Inlined Event.__init__ + Environment.schedule: timeouts are the
-        # dominant event class, so construction is the hottest allocation
-        # site in the whole simulator.
-        self.env = env
-        self.callbacks = []
-        self.delay = delay
+        super().__init__(env)
+        self.delay = float(delay)
         self._value = value
-        self._exc = None
         self._triggered = True
-        self._processed = False
-        self._defused = False
-        self._recycle = False
-        env._seq = seq = env._seq + 1
-        heappush(env._heap, (env._now + delay, Environment_NORMAL, seq, self))
+        env.schedule(self, delay=self.delay)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Timeout delay={self.delay}>"
 
 
 class Initialize(Event):
-    """Internal event used to start a process at its creation time.
-
-    Sets itself as the process's resume target so the lazy-cancellation
-    check in :meth:`Process._resume` accepts the initial wakeup. With
-    ``schedule=False`` the event is created but not placed on the heap —
-    :meth:`Environment.start_processes` batch-schedules those.
-    """
+    """Internal event used to start a process at its creation time."""
 
     __slots__ = ()
 
-    def __init__(self, env: "Environment", process: "Process", schedule: bool = True):
+    def __init__(self, env: "Environment", process: "Process"):
         super().__init__(env)
         self.callbacks.append(process._resume)
         self._value = None
         self._triggered = True
-        process._target = self
-        if schedule:
-            env.schedule(self, priority=Environment_URGENT)
+        env.schedule(self, priority=Environment_URGENT)
 
 
 # Priority constants shared with the engine (kept here to avoid a cycle).
@@ -205,21 +176,14 @@ class Process(Event):
 
     __slots__ = ("gen", "name", "_target")
 
-    def __init__(
-        self,
-        env: "Environment",
-        gen: Generator,
-        name: Optional[str] = None,
-        start: bool = True,
-    ):
+    def __init__(self, env: "Environment", gen: Generator, name: Optional[str] = None):
         if not hasattr(gen, "throw"):
             raise TypeError(f"Process requires a generator, got {type(gen).__name__}")
         super().__init__(env)
         self.gen = gen
         self.name = name or getattr(gen, "__name__", "process")
         self._target: Optional[Event] = None
-        if start:
-            Initialize(env, self)
+        Initialize(env, self)
 
     @property
     def is_alive(self) -> bool:
@@ -229,121 +193,62 @@ class Process(Event):
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at its current yield.
 
-        Interrupting a terminated process is an error. Interrupting a
-        process that is waiting on an event detaches it *lazily*: instead
-        of an O(n) scan of the event's callback list, the target pointer
-        is tombstoned (cleared) and :meth:`_resume` drops the stale
-        wakeup when the abandoned event eventually fires.
+        Interrupting a terminated process is an error; interrupting a
+        process that is waiting on an event detaches it from that event.
         """
         if self._triggered:
             raise RuntimeError(f"cannot interrupt dead process {self.name!r}")
-        target = self._target
-        if target is not None and target.__class__ is not Initialize:
-            # Tombstone: the stale subscription stays on the event and is
-            # discarded at dispatch (the event no longer matches _target).
-            # A not-yet-started process keeps its Initialize target so the
-            # interrupt is delivered right after the generator starts,
-            # matching eager-cancellation semantics.
+        if self._target is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
             self._target = None
         failed = Event(self.env)
         failed._value = None
         failed._exc = Interrupt(cause)
         failed._triggered = True
-        failed.callbacks.append(self._deliver_interrupt)
+        failed.callbacks.append(self._resume)
         self.env.schedule(failed, priority=Environment_URGENT)
 
     # -- engine interface ---------------------------------------------------
-    def _deliver_interrupt(self, event: Event) -> None:
-        """Resume with an interrupt, bypassing the stale-wakeup check.
-
-        If the process died between the ``interrupt()`` call and this
-        delivery (e.g. an earlier same-instant interrupt made it exit),
-        the interrupt is dropped — there is no frame left to throw into.
-        """
-        if self._triggered:
-            event._defused = True
-            return
-        self._target = event
-        self._resume(event)
-
     def _resume(self, event: Event) -> None:
-        """Advance the generator with the triggered event's outcome.
-
-        This is the hottest function in the simulator (one call per
-        process wakeup). The engine's run loop inlines an equivalent of
-        the dominant leg (successful event, one ``send``, fresh Timeout
-        yielded back) — any change here must be mirrored in
-        ``Environment._drain``; the determinism tests compare traces
-        across both dispatch paths.
-        """
-        if event is not self._target:
-            # Stale wakeup from an event this process was lazily detached
-            # from (see interrupt()); the exception, if any, stays
-            # un-defused exactly as under eager callback removal.
-            return
-        env = self.env
-        env._active_proc = self
+        """Advance the generator with the triggered event's outcome."""
+        self.env._active_proc = self
         self._target = None
-        try:
-            if event._exc is None:
-                nxt = self.gen.send(event._value)
-            else:
-                event._defused = True
-                nxt = self.gen.throw(event._exc)
-        except StopIteration as stop:
-            env._active_proc = None
-            self.succeed(stop.value)
-            return
-        except BaseException as exc:
-            env._active_proc = None
-            self.fail(exc)
-            return
-        # Dominant continuation inlined: a fresh pending event in this
-        # environment — subscribe without a second call frame.
-        if isinstance(nxt, Event) and nxt.env is env and not nxt._processed:
+        evt: Optional[Event] = event
+        while True:
+            try:
+                if evt is not None and evt._exc is not None:
+                    evt._defused = True
+                    nxt = self.gen.throw(evt._exc)
+                else:
+                    nxt = self.gen.send(evt._value if evt is not None else None)
+            except StopIteration as stop:
+                self.env._active_proc = None
+                self.succeed(stop.value)
+                return
+            except BaseException as exc:
+                self.env._active_proc = None
+                self.fail(exc)
+                return
+
+            if not isinstance(nxt, Event):
+                self.env._active_proc = None
+                self.fail(TypeError(f"process {self.name!r} yielded non-event {nxt!r}"))
+                return
+            if nxt.env is not self.env:
+                self.env._active_proc = None
+                self.fail(RuntimeError("yielded event belongs to a different Environment"))
+                return
+
+            if nxt._processed:
+                # Already resolved: loop immediately without a scheduler trip.
+                evt = nxt
+                continue
             nxt.callbacks.append(self._resume)
             self._target = nxt
-            env._active_proc = None
-            return
-        self._after_yield(nxt)
-
-    def _after_yield(self, nxt: Any) -> None:
-        """Handle a just-yielded value (``env._active_proc`` is set).
-
-        Subscribes to a pending event, loops through already-processed
-        events without a scheduler trip, and converts bad yields into
-        process failures.
-        """
-        env = self.env
-        gen = self.gen
-        while True:
-            if isinstance(nxt, Event) and nxt.env is env:
-                if not nxt._processed:
-                    nxt.callbacks.append(self._resume)
-                    self._target = nxt
-                    env._active_proc = None
-                    return
-                # Already resolved: advance immediately.
-                try:
-                    if nxt._exc is None:
-                        nxt = gen.send(nxt._value)
-                    else:
-                        nxt._defused = True
-                        nxt = gen.throw(nxt._exc)
-                except StopIteration as stop:
-                    env._active_proc = None
-                    self.succeed(stop.value)
-                    return
-                except BaseException as exc:
-                    env._active_proc = None
-                    self.fail(exc)
-                    return
-                continue
-            env._active_proc = None
-            if not isinstance(nxt, Event):
-                self.fail(TypeError(f"process {self.name!r} yielded non-event {nxt!r}"))
-            else:
-                self.fail(RuntimeError("yielded event belongs to a different Environment"))
+            self.env._active_proc = None
             return
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -1,0 +1,297 @@
+"""Contention primitives: resources, containers, and stores.
+
+These model the queuing behaviour of shared hardware: CPU cores and mapper
+slots are :class:`Resource`\\ s, DMA in-flight request slots are a
+:class:`Resource` with capacity 16, memory/disk space is a
+:class:`Container`, and message queues (JobTracker inbox, DataNode request
+queues) are :class:`Store`\\ s.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from benchmarks.legacy.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from benchmarks.legacy.engine import Environment
+
+__all__ = [
+    "Container",
+    "PriorityRequest",
+    "PriorityResource",
+    "Release",
+    "Request",
+    "Resource",
+    "Store",
+]
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource`; triggers when granted.
+
+    Usable as a context manager so that exceptions (including simulation
+    interrupts) release the slot::
+
+        with res.request() as req:
+            yield req
+            yield env.timeout(work)
+    """
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+        resource._do_request(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.cancel()
+
+    def cancel(self) -> None:
+        """Release if granted, withdraw from the queue otherwise."""
+        self.resource.release(self)
+
+
+class PriorityRequest(Request):
+    """A request with an explicit priority (lower value = served first)."""
+
+    __slots__ = ("priority", "seq")
+
+    def __init__(self, resource: "PriorityResource", priority: int = 0):
+        self.priority = priority
+        self.seq = resource._next_seq()
+        super().__init__(resource)
+
+
+class Release(Event):
+    """Immediate event confirming a release (present for API symmetry)."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment"):
+        super().__init__(env)
+        self.succeed()
+
+
+class Resource:
+    """A capacity-limited resource with FIFO granting.
+
+    ``capacity`` slots may be held simultaneously; further requests queue.
+    """
+
+    def __init__(self, env: "Environment", capacity: int = 1):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.users: list[Request] = []
+        self.queue: deque[Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self.users)
+
+    def request(self) -> Request:
+        """Claim a slot; the returned event triggers when granted."""
+        return Request(self)
+
+    def release(self, request: Request) -> Release:
+        """Return a slot (or withdraw a queued request)."""
+        if request in self.users:
+            self.users.remove(request)
+            self._grant_next()
+        else:
+            try:
+                self.queue.remove(request)
+            except ValueError:
+                pass
+        return Release(self.env)
+
+    # -- internals -------------------------------------------------------------
+    def _do_request(self, request: Request) -> None:
+        if len(self.users) < self.capacity:
+            self.users.append(request)
+            request.succeed(self)
+        else:
+            self.queue.append(request)
+
+    def _grant_next(self) -> None:
+        while self.queue and len(self.users) < self.capacity:
+            nxt = self.queue.popleft()
+            self.users.append(nxt)
+            nxt.succeed(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Resource {self.count}/{self.capacity} queued={len(self.queue)}>"
+
+
+class PriorityResource(Resource):
+    """A resource whose queue is ordered by request priority."""
+
+    def __init__(self, env: "Environment", capacity: int = 1):
+        super().__init__(env, capacity)
+        self._pqueue: list[tuple[int, int, PriorityRequest]] = []
+        self._seq = 0
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def request(self, priority: int = 0) -> PriorityRequest:  # type: ignore[override]
+        return PriorityRequest(self, priority)
+
+    def _do_request(self, request: Request) -> None:
+        assert isinstance(request, PriorityRequest)
+        if len(self.users) < self.capacity and not self._pqueue:
+            self.users.append(request)
+            request.succeed(self)
+        else:
+            heapq.heappush(self._pqueue, (request.priority, request.seq, request))
+
+    def release(self, request: Request) -> Release:
+        if request in self.users:
+            self.users.remove(request)
+            self._grant_next()
+        else:
+            self._pqueue = [(p, s, r) for (p, s, r) in self._pqueue if r is not request]
+            heapq.heapify(self._pqueue)
+        return Release(self.env)
+
+    def _grant_next(self) -> None:
+        while self._pqueue and len(self.users) < self.capacity:
+            _p, _s, nxt = heapq.heappop(self._pqueue)
+            self.users.append(nxt)
+            nxt.succeed(self)
+
+
+class Container:
+    """A homogeneous bulk quantity (bytes of RAM, disk space, energy).
+
+    ``put``/``get`` events trigger once the amount can be satisfied.
+    """
+
+    def __init__(self, env: "Environment", capacity: float = float("inf"), init: float = 0.0):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0 <= init <= capacity:
+            raise ValueError("init must be within [0, capacity]")
+        self.env = env
+        self.capacity = capacity
+        self._level = float(init)
+        self._getters: deque[tuple[float, Event]] = deque()
+        self._putters: deque[tuple[float, Event]] = deque()
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def put(self, amount: float) -> Event:
+        """Add ``amount``; triggers once it fits under ``capacity``."""
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        evt = Event(self.env)
+        self._putters.append((amount, evt))
+        self._settle()
+        return evt
+
+    def get(self, amount: float) -> Event:
+        """Remove ``amount``; triggers once the level can cover it."""
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        evt = Event(self.env)
+        self._getters.append((amount, evt))
+        self._settle()
+        return evt
+
+    def _settle(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            if self._putters:
+                amount, evt = self._putters[0]
+                if self._level + amount <= self.capacity:
+                    self._putters.popleft()
+                    self._level += amount
+                    evt.succeed(amount)
+                    progress = True
+            if self._getters:
+                amount, evt = self._getters[0]
+                if self._level >= amount:
+                    self._getters.popleft()
+                    self._level -= amount
+                    evt.succeed(amount)
+                    progress = True
+
+
+class Store:
+    """An unordered-capacity FIFO queue of Python objects.
+
+    Optionally a ``filter`` can be given to :meth:`get` to take the first
+    matching item (used for tagged message matching).
+    """
+
+    def __init__(self, env: "Environment", capacity: float = float("inf")):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.items: deque[Any] = deque()
+        self._getters: deque[tuple[Optional[Callable[[Any], bool]], Event]] = deque()
+        self._putters: deque[tuple[Any, Event]] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> Event:
+        """Insert ``item``; triggers when there is room."""
+        evt = Event(self.env)
+        self._putters.append((item, evt))
+        self._settle()
+        return evt
+
+    def get(self, filter: Optional[Callable[[Any], bool]] = None) -> Event:
+        """Remove and return the first (matching) item when available."""
+        evt = Event(self.env)
+        self._getters.append((filter, evt))
+        self._settle()
+        return evt
+
+    def _settle(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            # Admit queued putters while capacity allows.
+            while self._putters and len(self.items) < self.capacity:
+                item, evt = self._putters.popleft()
+                self.items.append(item)
+                evt.succeed(item)
+                progress = True
+            # Serve getters in FIFO order; a filtered getter that cannot
+            # be satisfied does not block later getters.
+            unserved: deque[tuple[Optional[Callable[[Any], bool]], Event]] = deque()
+            while self._getters:
+                flt, evt = self._getters.popleft()
+                idx = self._find(flt)
+                if idx is None:
+                    unserved.append((flt, evt))
+                else:
+                    item = self.items[idx]
+                    del self.items[idx]
+                    evt.succeed(item)
+                    progress = True
+            self._getters = unserved
+
+    def _find(self, flt: Optional[Callable[[Any], bool]]) -> Optional[int]:
+        if flt is None:
+            return 0 if self.items else None
+        for i, item in enumerate(self.items):
+            if flt(item):
+                return i
+        return None

@@ -43,9 +43,19 @@ class SPE:
         """Process: occupy the SPE for ``seconds`` of kernel time."""
         if seconds < 0:
             raise ValueError("seconds must be non-negative")
-        with self._slot.request() as req:
-            yield req
-            yield self.env.timeout(seconds)
+        slot = self._slot
+        claim = slot.try_claim()  # idle slot: skip the grant event
+        req = None
+        try:
+            if claim is None:
+                req = slot.request()
+                yield req
+            yield self.env.pooled_timeout(seconds)
+        finally:
+            if claim is not None:
+                slot.release_claim(claim)
+            elif req is not None:
+                slot.release(req)
         self.busy_s += seconds
 
     @property
@@ -72,16 +82,36 @@ class PPE:
         """Process: occupy the PPE for ``seconds``."""
         if seconds < 0:
             raise ValueError("seconds must be non-negative")
-        with self._slot.request() as req:
-            yield req
-            yield self.env.timeout(seconds)
+        slot = self._slot
+        claim = slot.try_claim()
+        req = None
+        try:
+            if claim is None:
+                req = slot.request()
+                yield req
+            yield self.env.pooled_timeout(seconds)
+        finally:
+            if claim is not None:
+                slot.release_claim(claim)
+            elif req is not None:
+                slot.release(req)
         self.busy_s += seconds
 
     def copy(self, nbytes: float) -> Generator:
         """Process: PPE-side buffer copy of ``nbytes``."""
-        with self._slot.request() as req:
-            yield req
+        slot = self._slot
+        claim = slot.try_claim()
+        req = None
+        try:
+            if claim is None:
+                req = slot.request()
+                yield req
             yield from self.memcpy.transfer(nbytes)
+        finally:
+            if claim is not None:
+                slot.release_claim(claim)
+            elif req is not None:
+                slot.release(req)
         self.busy_s += nbytes / self.calib.ppe_memcpy_bw
 
 

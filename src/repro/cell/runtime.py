@@ -177,16 +177,21 @@ class OffloadRuntime:
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
         t0 = self.env.now
-        yield from self._ensure_started()
+        startup = self._startup_delay()
         chunks = max(1, int(np.ceil(nbytes / self.chunk_bytes))) if nbytes else 0
         if chunks == 0:
+            if startup > 0:
+                yield self.env.pooled_timeout(startup)
             return OffloadResult(0.0, self.env.now - t0, 0, "analytic")
         if chunks > self.event_chunk_limit:
+            # Startup + closed-form pipeline time: one composite event.
             t = self.analytic_time(nbytes, spe_bw)
-            yield self.env.timeout(t)
+            yield self.env.composite_timeout(startup, t)
             busy = nbytes / spe_bw + chunks * self.calib.spe_per_chunk_overhead_s
             self._record_busy(busy)
             return OffloadResult(nbytes, self.env.now - t0, chunks, "analytic", busy)
+        if startup > 0:
+            yield self.env.pooled_timeout(startup)
         yield from self._event_offload(nbytes, chunks, spe_bw)
         busy = nbytes / spe_bw + chunks * self.calib.spe_per_chunk_overhead_s
         return OffloadResult(nbytes, self.env.now - t0, chunks, "event", busy)
@@ -201,7 +206,9 @@ class OffloadRuntime:
         if samples < 0:
             raise ValueError("samples must be non-negative")
         t0 = self.env.now
-        yield from self._ensure_started()
+        startup = self._startup_delay()
+        if startup > 0:
+            yield self.env.pooled_timeout(startup)
         if samples == 0:
             return OffloadResult(0.0, self.env.now - t0, 0, "analytic")
         nspe = self.cell.spe_count
@@ -209,10 +216,14 @@ class OffloadRuntime:
         spe_rate = socket_rate / nspe
         compute_s = per_spe / spe_rate
         # Seed in / result out: one minimal DMA round trip per SPE.
+        # Workers start deferred and are batch-scheduled in one heap pass.
         procs = [
-            self.env.process(self._pi_spe_worker(spe, compute_s), name=f"pi-spe{spe.spe_id}")
+            self.env.process(
+                self._pi_spe_worker(spe, compute_s), name=f"pi-spe{spe.spe_id}", start=False
+            )
             for spe in self.cell.spes
         ]
+        self.env.start_processes(procs)
         yield self.env.all_of(procs)
         return OffloadResult(samples, self.env.now - t0, nspe, "event", compute_s * nspe)
 
@@ -222,13 +233,16 @@ class OffloadRuntime:
         yield from self.cell.dma.put(128)
 
     # -- internals ---------------------------------------------------------------
-    def _ensure_started(self) -> Generator:
-        if not self._started:
-            self._started = True
-            if self.startup_s > 0:
-                yield self.env.timeout(self.startup_s)
-        return
-        yield  # pragma: no cover - make this a generator
+    def _startup_delay(self) -> float:
+        """One-time startup cost, consumed on the first offload.
+
+        Returned as a plain delay so callers can fold it into a
+        composite event instead of paying a separate startup event.
+        """
+        if self._started:
+            return 0.0
+        self._started = True
+        return self.startup_s
 
     def _record_busy(self, seconds: float) -> None:
         """Spread analytic busy time evenly over the SPEs."""
@@ -241,10 +255,13 @@ class OffloadRuntime:
         counter = {"next": 0, "total": chunks, "last_bytes": nbytes - (chunks - 1) * self.chunk_bytes}
         workers = [
             self.env.process(
-                self._spe_worker(spe, counter, spe_bw), name=f"{self.name}-spe{spe.spe_id}"
+                self._spe_worker(spe, counter, spe_bw),
+                name=f"{self.name}-spe{spe.spe_id}",
+                start=False,
             )
             for spe in self.cell.spes
         ]
+        self.env.start_processes(workers)
         yield self.env.all_of(workers)
 
     def _spe_worker(self, spe, counter: dict, spe_bw: float) -> Generator:
@@ -324,16 +341,20 @@ class CellMapReduceRuntime(OffloadRuntime):
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
         t0 = self.env.now
-        yield from self._ensure_started()
+        startup = self._startup_delay()
         chunks = max(1, int(np.ceil(nbytes / self.chunk_bytes))) if nbytes else 0
         if chunks == 0:
+            if startup > 0:
+                yield self.env.pooled_timeout(startup)
             return OffloadResult(0.0, self.env.now - t0, 0, "analytic")
         if chunks > self.event_chunk_limit:
             t = self.analytic_time(nbytes, spe_bw)
-            yield self.env.timeout(t)
+            yield self.env.composite_timeout(startup, t)
             busy = nbytes / spe_bw + chunks * self.calib.spe_per_chunk_overhead_s
             self._record_busy(busy)
             return OffloadResult(nbytes, self.env.now - t0, chunks, "analytic", busy)
+        if startup > 0:
+            yield self.env.pooled_timeout(startup)
         # Event path: the framework's input-initialization copy runs on
         # the PPE before the map phase touches the SPEs.
         yield from self.cell.ppe.copy(nbytes)

@@ -82,6 +82,11 @@ class Job:
     counters: dict[str, float] = field(default_factory=dict)
     completion: Optional["Event"] = None
     failure_reason: Optional[str] = None
+    _done_map_count: int = 0
+    _done_reduce_count: int = 0
+    """Completion tallies maintained by the JobTracker on task-state
+    transitions, so the per-heartbeat completion predicates are O(1)
+    instead of scanning every task."""
 
     def __post_init__(self) -> None:
         self.completion = self.env.event()
@@ -89,6 +94,20 @@ class Job:
     # -- bookkeeping -------------------------------------------------------------
     def bump(self, counter: str, amount: float = 1.0) -> None:
         self.counters[counter] = self.counters.get(counter, 0.0) + amount
+
+    def note_task_done(self, kind: TaskKind) -> None:
+        """Record a pending/running → done transition (JobTracker only)."""
+        if kind is TaskKind.MAP:
+            self._done_map_count += 1
+        else:
+            self._done_reduce_count += 1
+
+    def note_task_undone(self, kind: TaskKind) -> None:
+        """Record a done → pending transition (lost map output)."""
+        if kind is TaskKind.MAP:
+            self._done_map_count -= 1
+        else:
+            self._done_reduce_count -= 1
 
     def task(self, kind: TaskKind, task_id: int) -> TaskRecord:
         table = self.maps if kind is TaskKind.MAP else self.reduces
@@ -100,19 +119,23 @@ class Job:
 
     @property
     def maps_completed(self) -> int:
-        return sum(1 for t in self.maps.values() if t.state == "done")
+        return self._done_map_count
 
     @property
     def reduces_completed(self) -> int:
-        return sum(1 for t in self.reduces.values() if t.state == "done")
+        return self._done_reduce_count
 
     @property
     def maps_all_done(self) -> bool:
-        return all(t.state == "done" for t in self.maps.values())
+        return self._done_map_count >= len(self.maps)
+
+    @property
+    def reduces_all_done(self) -> bool:
+        return self._done_reduce_count >= len(self.reduces)
 
     @property
     def is_complete(self) -> bool:
-        return self.maps_all_done and all(t.state == "done" for t in self.reduces.values())
+        return self.maps_all_done and self.reduces_all_done
 
     def mark_finished(self, state: JobState, reason: Optional[str] = None) -> None:
         self.state = state

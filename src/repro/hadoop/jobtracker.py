@@ -134,7 +134,7 @@ class JobTracker:
         while True:
             msg, reply_box = yield self.inbox.get()
             # Serialized service time for every RPC the JobTracker handles.
-            yield self.env.timeout(self.calib.jobtracker_service_s)
+            yield self.env.pooled_timeout(self.calib.jobtracker_service_s)
             if isinstance(msg, Heartbeat):
                 reply = self._handle_heartbeat(msg)
                 yield reply_box.put(reply)
@@ -273,6 +273,7 @@ class JobTracker:
         if task.state == "done":
             return  # late duplicate
         task.state = "done"
+        job.note_task_done(msg.kind)
         task.end_time = self.env.now
         task.tracker = msg.tracker_id
         stats = msg.stats
@@ -333,7 +334,7 @@ class JobTracker:
     def _failure_monitor(self) -> Generator:
         interval = self.calib.heartbeat_interval_s
         while True:
-            yield self.env.timeout(interval)
+            yield self.env.pooled_timeout(interval)
             now = self.env.now
             for tracker_id in list(self._trackers):
                 if now - self._last_seen.get(tracker_id, now) > self.calib.heartbeat_timeout_s:
@@ -368,12 +369,13 @@ class JobTracker:
         for job in self._jobs.values():
             if job.state is not JobState.RUNNING or not job.reduces:
                 continue
-            if all(t.state == "done" for t in job.reduces.values()):
+            if job.reduces_all_done:
                 continue
             for task in job.maps.values():
                 out = self.map_outputs.get((job.job_id, task.task_id))
                 if task.state == "done" and out is not None and out.node_id == tracker_id:
                     task.state = "pending"
+                    job.note_task_undone(TaskKind.MAP)
                     task.attempts = 0
                     self.map_outputs.pop((job.job_id, task.task_id), None)
                     pending = self._pending_maps.setdefault(job.job_id, [])

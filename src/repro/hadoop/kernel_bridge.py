@@ -79,14 +79,12 @@ class MapKernel:
             self._runtime = GPUOffloadRuntime(node.gpus[slot % len(node.gpus)])
 
     # -- internals ---------------------------------------------------------------
-    def _charge_java_startup(self) -> Generator:
-        if not self._started:
-            self._started = True
-            startup = self.calib.kernel_startup_s(self.backend, self.workload)
-            if startup > 0:
-                yield self.env.timeout(startup)
-        return
-        yield  # pragma: no cover - generator marker
+    def _java_startup_delay(self) -> float:
+        """One-time JVM/JIT warm-up, folded into the first compute event."""
+        if self._started:
+            return 0.0
+        self._started = True
+        return self.calib.kernel_startup_s(self.backend, self.workload)
 
     def _record_busy(self, seconds: float) -> None:
         self.kernel_busy_s += seconds
@@ -112,10 +110,11 @@ class MapKernel:
             self._record_busy(self._wallclock_busy(result))
             return
         # Java path: the mapper's own core streams through the kernel.
-        yield from self._charge_java_startup()
+        # Startup (first record only) + stream time collapse into one
+        # composite event.
         bw = self.calib.aes_backend_bw(self.backend)
         seconds = nbytes / bw * slow
-        yield self.env.timeout(seconds)
+        yield self.env.composite_timeout(self._java_startup_delay(), seconds)
         self._record_busy(seconds)
 
     # -- compute-driven kernels --------------------------------------------------------
@@ -129,8 +128,7 @@ class MapKernel:
             result = yield from self._runtime.offload_samples(samples, rate)
             self._record_busy(self._wallclock_busy(result))
             return
-        yield from self._charge_java_startup()
         rate = self.calib.pi_backend_rate(self.backend) / slow
         seconds = samples / rate
-        yield self.env.timeout(seconds)
+        yield self.env.composite_timeout(self._java_startup_delay(), seconds)
         self._record_busy(seconds)

@@ -82,7 +82,7 @@ def run_map_task(
     env = ctx.env
     calib = ctx.calib
     conf = job.conf
-    yield env.timeout(calib.task_launch_s)
+    yield env.pooled_timeout(calib.task_launch_s)
 
     backend = conf.backend
     needs_missing_accel = (
@@ -178,7 +178,7 @@ def run_map_task(
             payload=b"".join(ciphertext_parts) if ciphertext_parts else None,
         )
 
-    yield env.timeout(calib.task_cleanup_s)
+    yield env.pooled_timeout(calib.task_cleanup_s)
     if ctx.tracer is not None:
         ctx.tracer.emit(
             "task", "map_done", job=job.job_id, task=task.task_id, node=ctx.node.node_id
@@ -237,7 +237,7 @@ def run_reduce_task(
     env = ctx.env
     calib = ctx.calib
     conf = job.conf
-    yield env.timeout(calib.task_launch_s)
+    yield env.pooled_timeout(calib.task_launch_s)
     stats: dict[str, Any] = {"shuffle_bytes": 0.0, "output_bytes": 0.0, "kernel_busy_s": 0.0}
 
     nreduce = max(1, conf.num_reduce_tasks)
@@ -259,18 +259,16 @@ def run_reduce_task(
             fetched += share
     stats["shuffle_bytes"] = fetched
 
-    # Merge sort at CPU sort bandwidth.
+    # Merge sort at CPU sort bandwidth, then the reduce function: Pi's
+    # aggregation is O(#maps) and effectively free; sort's reduce streams
+    # the data once more. Both phases are pure deterministic compute with
+    # nothing observing the boundary, so they collapse into one
+    # composite event.
     if fetched > 0:
         merge_s = fetched / calib.sort_cpu_bw_per_core
-        yield env.timeout(merge_s)
-        stats["kernel_busy_s"] += merge_s
-
-    # Reduce function: Pi's aggregation is O(#maps) and effectively free;
-    # sort's reduce streams data once more.
-    if conf.workload == "sort" and fetched > 0:
-        reduce_s = fetched / calib.sort_cpu_bw_per_core
-        yield env.timeout(reduce_s)
-        stats["kernel_busy_s"] += reduce_s
+        reduce_s = merge_s if conf.workload == "sort" else 0.0
+        yield env.composite_timeout(merge_s, reduce_s)
+        stats["kernel_busy_s"] += merge_s + reduce_s
 
     # Output commit to HDFS. Attempt-scoped path, as real Hadoop writes
     # per-attempt temporary outputs and promotes the winner on commit.
@@ -282,7 +280,7 @@ def run_reduce_task(
         )
         stats["output_bytes"] = out_bytes
 
-    yield env.timeout(calib.task_cleanup_s)
+    yield env.pooled_timeout(calib.task_cleanup_s)
     if ctx.tracer is not None:
         ctx.tracer.emit(
             "task", "reduce_done", job=job.job_id, task=task.task_id, node=ctx.node.node_id

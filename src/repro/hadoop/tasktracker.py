@@ -32,6 +32,12 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["TaskTracker"]
 
 
+def _is_assignment_reply(msg) -> bool:
+    """Mailbox filter for heartbeat replies (module-level: the heartbeat
+    loop runs thousands of rounds, so no per-round closure)."""
+    return isinstance(msg, AssignmentReply)
+
+
 class TaskTracker:
     """Heartbeat-driven task execution on one worker blade.
 
@@ -101,7 +107,7 @@ class TaskTracker:
     def _heartbeat_loop(self) -> Generator:
         jitter_rng = self.jt.rng.stream(f"tt-jitter-{self.tracker_id}")
         # Desynchronize tracker phases like real daemon start-up does.
-        yield self.env.timeout(float(jitter_rng.uniform(0, self.calib.heartbeat_interval_s)))
+        yield self.env.pooled_timeout(float(jitter_rng.uniform(0, self.calib.heartbeat_interval_s)))
         while self.alive:
             hb = Heartbeat(
                 tracker_id=self.tracker_id,
@@ -109,12 +115,16 @@ class TaskTracker:
                 free_reduce_slots=self.free_reduce_slots,
             )
             yield self.jt.inbox.put((hb, self.mailbox))
-            reply = yield self.mailbox.get(lambda m: isinstance(m, AssignmentReply))
+            reply = yield self.mailbox.get(_is_assignment_reply)
             for kill in reply.kills:
                 self._kill_attempt(kill)
-            for assignment in reply.assignments:
-                self._launch(assignment)
-            yield self.env.timeout(
+            # Launch every assignment from this reply in one batch: the
+            # attempt processes are created deferred and their start
+            # events are pushed with a single schedule_many pass.
+            started = [proc for a in reply.assignments if (proc := self._launch(a)) is not None]
+            if started:
+                self.env.start_processes(started)
+            yield self.env.pooled_timeout(
                 self.calib.heartbeat_interval_s * float(jitter_rng.uniform(0.95, 1.05))
             )
 
@@ -124,33 +134,37 @@ class TaskTracker:
         if proc is not None and proc.is_alive:
             proc.interrupt("killed by jobtracker")
 
-    def _launch(self, assignment: Assignment) -> None:
-        """Start an attempt, binding map attempts to a free slot/socket.
+    def _launch(self, assignment: Assignment) -> Optional[Process]:
+        """Create an attempt process, binding map attempts to a free
+        slot/socket; returns it unstarted (the heartbeat loop batches the
+        start events).
 
         Slot accounting happens here (synchronously) so two assignments
         arriving in one reply cannot race for the same Cell socket.
         """
         if not self.alive:
-            return
+            return None
         is_map = assignment.kind is TaskKind.MAP
         if is_map:
             free = self.free_slot_indices()
             if not free:
-                return  # stale assignment; the JobTracker will reissue
+                return None  # stale assignment; the JobTracker will reissue
             slot = free[0]
             self._used_map_slots += 1
             self._slot_in_use[slot] = True
         else:
             if self.free_reduce_slots <= 0:
-                return
+                return None
             slot = 0
             self._used_reduce_slots += 1
         key = (assignment.job_id, assignment.kind, assignment.task_id, assignment.attempt)
         proc = self.env.process(
             self._run_attempt(assignment, slot),
             name=f"attempt-{assignment.kind.value}{assignment.task_id}.{assignment.attempt}@{self.tracker_id}",
+            start=False,
         )
         self._running[key] = proc
+        return proc
 
     def _run_attempt(self, assignment: Assignment, slot: int) -> Generator:
         key = (assignment.job_id, assignment.kind, assignment.task_id, assignment.attempt)

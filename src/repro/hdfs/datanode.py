@@ -77,14 +77,32 @@ class DataNode:
         """Process: stream ``block`` (or its first ``length`` bytes) to ``dst``.
 
         Returns the payload bytes when the block carries one, else None.
+
+        The hot serving chain — xceiver slot, disk read, loopback/NIC
+        transfer — is the per-record path the paper measured, so the
+        common case (a free stream slot) claims the slot synchronously;
+        the disk and network stages then run as single pooled events when
+        their channels are idle. The stages stay individually contended:
+        collapsing disk+network into one composite event would hide the
+        mid-transfer arrival of other readers (see docs/PERFORMANCE.md).
         """
-        if not self.has_block(block.block_id):
+        if block.block_id not in self._blocks:
             raise KeyError(f"datanode {self.node_id} does not hold block {block.block_id}")
         nbytes = block.size if length is None else min(length, block.size)
-        with self._streams.request() as stream:
-            yield stream
+        streams = self._streams
+        claim = streams.try_claim()
+        req = None
+        try:
+            if claim is None:
+                req = streams.request()
+                yield req
             yield from self.node.disk.read(nbytes)
             yield from self.network.transfer(self.node, dst, nbytes)
+        finally:
+            if claim is not None:
+                streams.release_claim(claim)
+            elif req is not None:
+                streams.release(req)
         self.bytes_served += nbytes
         if dst.node_id == self.node_id:
             self.reads_local += 1

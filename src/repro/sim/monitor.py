@@ -62,7 +62,7 @@ class UtilizationMonitor:
         try:
             while True:
                 self.samples.append(_Sample(self.env.now, float(self.probe())))
-                yield self.env.timeout(self.interval_s)
+                yield self.env.pooled_timeout(self.interval_s)
         except Interrupt:
             return
 

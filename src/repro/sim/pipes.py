@@ -70,10 +70,26 @@ class Pipe:
         return self.latency_s + self.per_message_overhead_s + nbytes / self.bandwidth_bps
 
     def transfer(self, nbytes: float) -> Generator:
-        """Process: move ``nbytes`` through the pipe, queueing if busy."""
-        with self._channel.request() as req:
-            yield req
-            yield self.env.timeout(self.transfer_time(nbytes))
+        """Process: move ``nbytes`` through the pipe, queueing if busy.
+
+        The idle-channel case — the overwhelmingly common one at the
+        block/record granularity this model runs at — is collapsed into
+        a single pooled timeout: a synchronous claim replaces the
+        request-grant event and the timeout object is recycled.
+        """
+        channel = self._channel
+        claim = channel.try_claim()
+        req = None
+        try:
+            if claim is None:
+                req = channel.request()
+                yield req
+            yield self.env.pooled_timeout(self.transfer_time(nbytes))
+        finally:
+            if claim is not None:
+                channel.release_claim(claim)
+            elif req is not None:
+                channel.release(req)
         self.bytes_transferred += nbytes
         self.transfer_count += 1
         return nbytes
@@ -126,13 +142,23 @@ class SharedPipe:
         self.active_flows += 1
         try:
             if self.latency_s:
-                yield self.env.timeout(self.latency_s)
+                yield self.env.pooled_timeout(self.latency_s)
             remaining = nbytes
+            channel = self._channel
             while remaining > 0:
                 slice_bytes = min(self.quantum_bytes, remaining)
-                with self._channel.request() as req:
-                    yield req
-                    yield self.env.timeout(slice_bytes / self.bandwidth_bps)
+                claim = channel.try_claim()
+                req = None
+                try:
+                    if claim is None:
+                        req = channel.request()
+                        yield req
+                    yield self.env.pooled_timeout(slice_bytes / self.bandwidth_bps)
+                finally:
+                    if claim is not None:
+                        channel.release_claim(claim)
+                    elif req is not None:
+                        channel.release(req)
                 remaining -= slice_bytes
         finally:
             self.active_flows -= 1

@@ -19,6 +19,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Environment
 
 __all__ = [
+    "Claim",
     "Container",
     "PriorityRequest",
     "PriorityResource",
@@ -38,13 +39,18 @@ class Request(Event):
         with res.request() as req:
             yield req
             yield env.timeout(work)
+
+    ``_withdrawn`` is the lazy-cancellation tombstone: a cancelled queued
+    request is only flagged, and the resource's queue drops it at pop
+    time (or during periodic compaction) instead of scanning on cancel.
     """
 
-    __slots__ = ("resource",)
+    __slots__ = ("resource", "_withdrawn")
 
     def __init__(self, resource: "Resource"):
         super().__init__(resource.env)
         self.resource = resource
+        self._withdrawn = False
         resource._do_request(self)
 
     def __enter__(self) -> "Request":
@@ -70,19 +76,50 @@ class PriorityRequest(Request):
 
 
 class Release(Event):
-    """Immediate event confirming a release (present for API symmetry)."""
+    """Immediate event confirming a release (present for API symmetry).
+
+    Born already processed: nothing in the system waits on a release, so
+    scheduling one heap event per release (as the pre-overhaul engine
+    did) was pure dispatch overhead. A process that does yield a Release
+    resumes immediately through the processed-event shortcut.
+    """
 
     __slots__ = ()
 
     def __init__(self, env: "Environment"):
         super().__init__(env)
-        self.succeed()
+        self._triggered = True
+        self._processed = True
+
+
+#: Compaction policy for lazily-deleted queues: compact once at least
+#: ``_COMPACT_MIN`` tombstones exist and they are at least half the queue.
+_COMPACT_MIN = 32
+
+
+class Claim:
+    """Token for a synchronous, uncontended slot claim (no events).
+
+    Returned by :meth:`Resource.try_claim` when a slot is free and no
+    live request is queued — the exact condition under which a normal
+    :class:`Request` would be granted immediately. Claiming this way
+    skips the grant event entirely, which collapses hot chains like
+    "acquire idle channel → timed transfer → release" into a single
+    scheduled event. Pass it back via :meth:`Resource.release_claim`
+    (in a ``finally:`` so interrupts cannot leak the slot).
+    """
+
+    __slots__ = ()
 
 
 class Resource:
     """A capacity-limited resource with FIFO granting.
 
-    ``capacity`` slots may be held simultaneously; further requests queue.
+    ``capacity`` slots may be held simultaneously; further requests
+    queue. Cancellation of a queued request is lazy: the request is
+    tombstoned (``_withdrawn``) and dropped when it reaches the head of
+    the queue, with periodic compaction bounding the garbage (see
+    ``docs/PERFORMANCE.md``).
     """
 
     def __init__(self, env: "Environment", capacity: int = 1):
@@ -90,28 +127,55 @@ class Resource:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.env = env
         self.capacity = capacity
-        self.users: list[Request] = []
+        self.users: list = []  # granted Requests and synchronous Claims
         self.queue: deque[Request] = deque()
+        self._stale = 0
 
     @property
     def count(self) -> int:
         """Number of slots currently held."""
         return len(self.users)
 
+    @property
+    def queued(self) -> int:
+        """Number of live (non-withdrawn) queued requests."""
+        return len(self.queue) - self._stale
+
     def request(self) -> Request:
         """Claim a slot; the returned event triggers when granted."""
         return Request(self)
+
+    def try_claim(self) -> Optional[Claim]:
+        """Synchronously claim a slot if one would be granted immediately.
+
+        Returns a :class:`Claim` token (release with
+        :meth:`release_claim`) or ``None`` when the caller must queue via
+        :meth:`request`. Grant fairness is unchanged: the claim succeeds
+        exactly when a fresh request would succeed without waiting.
+        """
+        if len(self.users) < self.capacity and len(self.queue) == self._stale:
+            claim = Claim()
+            self.users.append(claim)
+            return claim
+        return None
+
+    def release_claim(self, claim: Claim) -> None:
+        """Return a slot taken with :meth:`try_claim`."""
+        self.users.remove(claim)
+        self._grant_next()
 
     def release(self, request: Request) -> Release:
         """Return a slot (or withdraw a queued request)."""
         if request in self.users:
             self.users.remove(request)
             self._grant_next()
-        else:
-            try:
-                self.queue.remove(request)
-            except ValueError:
-                pass
+        elif not request._triggered and not request._withdrawn:
+            # Still queued: tombstone instead of an O(n) deque scan.
+            request._withdrawn = True
+            self._stale = stale = self._stale + 1
+            if stale >= _COMPACT_MIN and stale * 2 >= len(self.queue):
+                self.queue = deque(r for r in self.queue if not r._withdrawn)
+                self._stale = 0
         return Release(self.env)
 
     # -- internals -------------------------------------------------------------
@@ -123,33 +187,58 @@ class Resource:
             self.queue.append(request)
 
     def _grant_next(self) -> None:
-        while self.queue and len(self.users) < self.capacity:
-            nxt = self.queue.popleft()
-            self.users.append(nxt)
+        queue = self.queue
+        users = self.users
+        capacity = self.capacity
+        while queue and len(users) < capacity:
+            nxt = queue.popleft()
+            if nxt._withdrawn:
+                self._stale -= 1
+                continue
+            users.append(nxt)
             nxt.succeed(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"<Resource {self.count}/{self.capacity} queued={len(self.queue)}>"
+        return f"<Resource {self.count}/{self.capacity} queued={self.queued}>"
 
 
 class PriorityResource(Resource):
-    """A resource whose queue is ordered by request priority."""
+    """A resource whose queue is ordered by request priority.
+
+    Cancellation is lazy here too: the pre-overhaul implementation
+    rebuilt and re-heapified the whole queue on every cancel (O(n));
+    withdrawn entries are now tombstoned, skipped at pop time, and
+    swept out by periodic compaction driven by a stale-entry counter.
+    """
 
     def __init__(self, env: "Environment", capacity: int = 1):
         super().__init__(env, capacity)
         self._pqueue: list[tuple[int, int, PriorityRequest]] = []
+        self._pstale = 0
         self._seq = 0
 
     def _next_seq(self) -> int:
         self._seq += 1
         return self._seq
 
+    @property
+    def queued(self) -> int:
+        """Number of live (non-withdrawn) queued requests."""
+        return len(self._pqueue) - self._pstale
+
     def request(self, priority: int = 0) -> PriorityRequest:  # type: ignore[override]
         return PriorityRequest(self, priority)
 
+    def try_claim(self) -> Optional[Claim]:
+        if len(self.users) < self.capacity and len(self._pqueue) == self._pstale:
+            claim = Claim()
+            self.users.append(claim)
+            return claim
+        return None
+
     def _do_request(self, request: Request) -> None:
         assert isinstance(request, PriorityRequest)
-        if len(self.users) < self.capacity and not self._pqueue:
+        if len(self.users) < self.capacity and len(self._pqueue) == self._pstale:
             self.users.append(request)
             request.succeed(self)
         else:
@@ -159,15 +248,25 @@ class PriorityResource(Resource):
         if request in self.users:
             self.users.remove(request)
             self._grant_next()
-        else:
-            self._pqueue = [(p, s, r) for (p, s, r) in self._pqueue if r is not request]
-            heapq.heapify(self._pqueue)
+        elif not request._triggered and not request._withdrawn:
+            request._withdrawn = True
+            self._pstale = stale = self._pstale + 1
+            if stale >= _COMPACT_MIN and stale * 2 >= len(self._pqueue):
+                self._pqueue = [entry for entry in self._pqueue if not entry[2]._withdrawn]
+                heapq.heapify(self._pqueue)
+                self._pstale = 0
         return Release(self.env)
 
     def _grant_next(self) -> None:
-        while self._pqueue and len(self.users) < self.capacity:
-            _p, _s, nxt = heapq.heappop(self._pqueue)
-            self.users.append(nxt)
+        pqueue = self._pqueue
+        users = self.users
+        capacity = self.capacity
+        while pqueue and len(users) < capacity:
+            _p, _s, nxt = heapq.heappop(pqueue)
+            if nxt._withdrawn:
+                self._pstale -= 1
+                continue
+            users.append(nxt)
             nxt.succeed(self)
 
 
@@ -250,43 +349,90 @@ class Store:
         return len(self.items)
 
     def put(self, item: Any) -> Event:
-        """Insert ``item``; triggers when there is room."""
+        """Insert ``item``; triggers when there is room.
+
+        When the insert can complete synchronously (no queued waiters,
+        room available — the settled-state invariant makes this
+        equivalent to queueing the putter and running a settle pass) the
+        returned event is born processed: a process yielding it continues
+        immediately instead of taking a heap round trip. Hot message
+        loops (heartbeats, DataNode request queues) put once per
+        protocol round, so this removes one event per round.
+        """
         evt = Event(self.env)
+        if not self._putters and len(self.items) < self.capacity:
+            # Immediate admission (FIFO-safe: no queued putter precedes
+            # us). Waiting getters are then served through the normal
+            # settle pass, in the same succeed order as before.
+            self.items.append(item)
+            evt._value = item
+            evt._triggered = True
+            evt._processed = True
+            if self._getters:
+                self._settle()
+            return evt
         self._putters.append((item, evt))
         self._settle()
         return evt
 
     def get(self, filter: Optional[Callable[[Any], bool]] = None) -> Event:
-        """Remove and return the first (matching) item when available."""
+        """Remove and return the first (matching) item when available.
+
+        Like :meth:`put`, an immediately-satisfiable get (no queued
+        getters to preserve FIFO against, no putters whose admission
+        could precede this get in settle order) completes synchronously
+        with a pre-processed event.
+        """
         evt = Event(self.env)
+        if not self._getters and self.items:
+            # Immediate service (FIFO-safe: no queued getter precedes
+            # us). A queued putter that the freed capacity can now admit
+            # is handled by the settle pass, exactly as it would have
+            # been after this getter in the old settle order.
+            idx = self._find(filter)
+            if idx is not None:
+                item = self.items[idx]
+                del self.items[idx]
+                evt._value = item
+                evt._triggered = True
+                evt._processed = True
+                if self._putters:
+                    self._settle()
+                return evt
         self._getters.append((filter, evt))
         self._settle()
         return evt
 
     def _settle(self) -> None:
+        items = self.items
+        putters = self._putters
+        capacity = self.capacity
         progress = True
         while progress:
             progress = False
             # Admit queued putters while capacity allows.
-            while self._putters and len(self.items) < self.capacity:
-                item, evt = self._putters.popleft()
-                self.items.append(item)
+            while putters and len(items) < capacity:
+                item, evt = putters.popleft()
+                items.append(item)
                 evt.succeed(item)
                 progress = True
             # Serve getters in FIFO order; a filtered getter that cannot
-            # be satisfied does not block later getters.
-            unserved: deque[tuple[Optional[Callable[[Any], bool]], Event]] = deque()
-            while self._getters:
-                flt, evt = self._getters.popleft()
-                idx = self._find(flt)
-                if idx is None:
-                    unserved.append((flt, evt))
-                else:
-                    item = self.items[idx]
-                    del self.items[idx]
-                    evt.succeed(item)
-                    progress = True
-            self._getters = unserved
+            # be satisfied does not block later getters. Skip the scan
+            # entirely when there is nothing to match against.
+            getters = self._getters
+            if getters and items:
+                unserved: deque[tuple[Optional[Callable[[Any], bool]], Event]] = deque()
+                while getters:
+                    flt, evt = getters.popleft()
+                    idx = self._find(flt)
+                    if idx is None:
+                        unserved.append((flt, evt))
+                    else:
+                        item = items[idx]
+                        del items[idx]
+                        evt.succeed(item)
+                        progress = True
+                self._getters = getters = unserved
 
     def _find(self, flt: Optional[Callable[[Any], bool]]) -> Optional[int]:
         if flt is None:

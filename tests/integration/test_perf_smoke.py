@@ -1,0 +1,35 @@
+"""CI smoke for the engine perf harness.
+
+Runs ``benchmarks/run_perf.py --smoke`` in-process: small microbenchmark
+sizes, a two-point Fig-8 slice, the trace-determinism check, and a
+wall-clock budget. Speed *targets* are asserted only by the full harness
+(they need quiet hardware); this smoke asserts the determinism contract
+and that the harness itself stays runnable, while the budget catches
+pathological slowdowns.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+sys.path.insert(0, str(REPO_ROOT))
+
+from benchmarks import run_perf  # noqa: E402
+
+
+def test_run_perf_smoke(tmp_path):
+    out = tmp_path / "BENCH_engine.json"
+    rc = run_perf.main(["--smoke", "--out", str(out), "--budget-s", "300"])
+    assert rc == 0
+    report = json.loads(out.read_text())
+    assert report["mode"] == "smoke"
+    assert report["trace_determinism_ok"] is True
+    assert report["fig8_sweep"]["series_byte_identical"] is True
+    micros = report["microbench"]
+    assert set(run_perf.MICROS) <= set(micros)
+    for name in run_perf.MICROS:
+        assert micros[name]["wallclock_speedup_median"] > 0
+    # The lazy-deletion fix is algorithmic, not timing-sensitive: even a
+    # noisy host shows the cancel storm far faster than eager heapify.
+    assert micros["cancel_churn"]["wallclock_speedup_median"] > 2.0

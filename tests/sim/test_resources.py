@@ -82,6 +82,7 @@ def test_context_manager_releases_on_exception():
 def test_cancel_queued_request_withdraws_it():
     env = Environment()
     res = Resource(env, capacity=1)
+    granted = []
 
     def holder():
         with res.request() as req:
@@ -95,10 +96,16 @@ def test_cancel_queued_request_withdraws_it():
         req = res.request()
         yield env.timeout(1)
         req.cancel()
+        granted.append(req.triggered)
 
     env.process(impatient())
     env.run(until=3)
-    assert len(res.queue) == 0
+    # Lazy cancellation: the entry may linger as a tombstone, but it no
+    # longer counts as queued and must never be granted.
+    assert res.queued == 0
+    env.run()
+    assert granted == [False]
+    assert res.count == 0
 
 
 # --------------------------------------------------------------------------- #
