@@ -311,26 +311,23 @@ def check_trace_determinism() -> bool:
 # --------------------------------------------------------------------------- #
 
 
-def _fig8_series(nodes, samples) -> list[tuple[str, list[float]]]:
-    from repro.core import run_pi_job
-    from repro.perf import Backend
+def _fig8_series(nodes, samples, workers: int = 1) -> list[tuple[str, list[float]]]:
+    """The Fig-8 sweep through the declarative scenario registry.
 
-    out = []
-    for label, backend, mult in (
-        ("Java Mapper", Backend.JAVA_PPE, 1),
-        ("Cell BE Mapper", Backend.CELL_SPE_DIRECT, 1),
-        ("Cell BE Mapper (10x samples)", Backend.CELL_SPE_DIRECT, 10),
-    ):
-        ys = []
-        for n in nodes:
-            result = run_pi_job(n, samples * mult, backend)
-            assert result.succeeded
-            ys.append(result.makespan_s)
-        out.append((label, ys))
-    return out
+    Goes through the same parallel sweep driver the CLI uses
+    (`repro sweep fig8`), so the perf harness measures exactly the code
+    path the figure reproduction runs; the driver's grid-order
+    aggregation keeps the series byte-identical at any worker count.
+    """
+    from repro.experiments import run_sweep
+
+    result = run_sweep(
+        "fig8", {"nodes": list(nodes), "samples": samples}, workers=workers
+    )
+    return [(s.label, s.ys) for s in result.series]
 
 
-def run_fig8(pairs: int, smoke: bool) -> tuple[dict, bool]:
+def run_fig8(pairs: int, smoke: bool, workers: int = 1) -> tuple[dict, bool]:
     nodes = (4, 8) if smoke else (4, 8, 16, 32, 64)
     samples = 1e10 if smoke else 1e11
     # Warm up imports/caches outside the timed region (both modes).
@@ -346,14 +343,14 @@ def run_fig8(pairs: int, smoke: bool) -> tuple[dict, bool]:
         prev = engine.set_reference_mode(True)
         try:
             t0 = time.perf_counter()
-            ref_series = _fig8_series(nodes, samples)
+            ref_series = _fig8_series(nodes, samples, workers)
             ref_times.append(time.perf_counter() - t0)
         finally:
             engine.set_reference_mode(prev)
         prev = engine.set_reference_mode(False)
         try:
             t0 = time.perf_counter()
-            fast_series = _fig8_series(nodes, samples)
+            fast_series = _fig8_series(nodes, samples, workers)
             fast_times.append(time.perf_counter() - t0)
         finally:
             engine.set_reference_mode(prev)
@@ -368,6 +365,7 @@ def run_fig8(pairs: int, smoke: bool) -> tuple[dict, bool]:
     result = {
         "nodes": list(nodes),
         "samples": samples,
+        "sweep_workers": workers,
         "wallclock_reference_best_s": round(min(ref_times), 4),
         "wallclock_optimized_best_s": round(min(fast_times), 4),
         "wallclock_speedup_median": round(speedup, 3),
@@ -417,6 +415,10 @@ def main(argv=None) -> int:
                         help="interleaved A/B pairs per benchmark (default 5, smoke 1)")
     parser.add_argument("--budget-s", type=float, default=120.0,
                         help="smoke-mode wall-clock budget in seconds")
+    parser.add_argument("--sweep-workers", type=int, default=1,
+                        help="worker processes for the Fig-8 sweep (applied "
+                             "to both engine modes; series stay byte-"
+                             "identical at any count)")
     parser.add_argument("--out", type=Path, default=REPO_ROOT / "BENCH_engine.json")
     args = parser.parse_args(argv)
     pairs = args.pairs if args.pairs is not None else (1 if args.smoke else 5)
@@ -429,8 +431,9 @@ def main(argv=None) -> int:
     micros = run_micros(pairs, args.smoke)
     print("[2/3] determinism: fast-vs-reference event traces")
     traces_ok = check_trace_determinism()
-    print("[3/3] Fig-8 sweep: optimized vs reference engine mode")
-    fig8, series_ok = run_fig8(pairs, args.smoke)
+    print("[3/3] Fig-8 sweep: optimized vs reference engine mode "
+          f"({args.sweep_workers} sweep worker(s))")
+    fig8, series_ok = run_fig8(pairs, args.smoke, args.sweep_workers)
     elapsed = time.perf_counter() - t_start
 
     report = {

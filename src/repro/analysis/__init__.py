@@ -8,7 +8,7 @@ from repro.analysis.shapes import (
     ratio_between,
     scaling_efficiency,
 )
-from repro.analysis.report import format_table, paper_comparison_rows
+from repro.analysis.report import format_table, paper_comparison_rows, sweep_summary
 
 __all__ = [
     "Series",
@@ -20,4 +20,5 @@ __all__ = [
     "paper_comparison_rows",
     "ratio_between",
     "scaling_efficiency",
+    "sweep_summary",
 ]

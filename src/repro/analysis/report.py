@@ -7,11 +7,17 @@ EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import math
 from typing import Any, Mapping, Optional, Sequence
 
 from repro.analysis.series import Series
 
-__all__ = ["format_table", "paper_comparison_rows", "series_table"]
+__all__ = [
+    "format_table",
+    "paper_comparison_rows",
+    "series_table",
+    "sweep_summary",
+]
 
 
 def format_table(rows: Sequence[Mapping[str, Any]], columns: Optional[Sequence[str]] = None) -> str:
@@ -47,6 +53,34 @@ def series_table(series: Sequence[Series], x_name: str = "x") -> str:
         row: dict[str, Any] = {x_name: x}
         for s in series:
             row[s.label] = s.ys[i] if i < len(s.ys) else ""
+        rows.append(row)
+    return format_table(rows)
+
+
+def sweep_summary(series: Sequence[Series], x_name: str = "x") -> str:
+    """Per-curve sweep digest: extremes, span ratio, end-to-end log-log
+    slope — the quick who-wins/how-it-scales read of a finished sweep."""
+    if not series:
+        return "(no series)"
+    rows = []
+    for s in series:
+        if len(s) == 0:
+            continue
+        ymin, ymax = min(s.ys), max(s.ys)
+        row: dict[str, Any] = {
+            "curve": s.label,
+            "points": len(s),
+            f"{x_name} range": f"{_fmt(min(s.xs))}..{_fmt(max(s.xs))}",
+            "y min": ymin,
+            "y max": ymax,
+        }
+        x0, x1 = s.xs[0], s.xs[-1]
+        y0, y1 = s.ys[0], s.ys[-1]
+        if min(x0, x1, y0, y1) > 0 and x0 != x1:
+            slope = (math.log10(y1) - math.log10(y0)) / (math.log10(x1) - math.log10(x0))
+            row["loglog slope"] = round(slope, 3)
+        else:
+            row["loglog slope"] = ""
         rows.append(row)
     return format_table(rows)
 

@@ -4,32 +4,40 @@ Run paper experiments and ad-hoc jobs without writing code::
 
     python -m repro fig2                     # raw encryption figure
     python -m repro fig5 --data-gb 60        # fixed-dataset sweep
-    python -m repro fig8 --samples 1e11
+    python -m repro fig8 --samples 1e11 --workers 4
+    python -m repro scenarios                # list every registered sweep
+    python -m repro sweep gpu --grid nodes=2,4,8 --workers 4
     python -m repro encrypt --nodes 16 --data-gb 32 --backend cell
     python -m repro pi --nodes 50 --samples 3e12 --backend java
     python -m repro info                     # calibration summary
 
-Output is the same series-table + ASCII chart format the benchmark
-harness prints.
+Every ``fig*`` command is a thin view over the scenario registry
+(:mod:`repro.experiments`): the same declarative definition drives the
+serial figures, the parallel sweep driver, the perf harness, and the
+golden-series tests. Output is the series-table + ASCII chart format the
+benchmark harness prints.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Optional, Sequence
 
-from repro.analysis import Series, ascii_chart
+from repro.analysis import Series, ascii_chart, sweep_summary
 from repro.analysis.report import format_table, series_table
+from repro.experiments import (
+    GridError,
+    all_scenarios,
+    get_scenario,
+    parse_grid_overrides,
+    run_sweep,
+    save_sweep,
+)
 from repro.perf import Backend, PAPER_CALIBRATION
 from repro.perf.calibration import GB, MB
-from repro.core import (
-    raw_encryption_bandwidth,
-    raw_pi_rates,
-    run_empty_job,
-    run_encryption_job,
-    run_pi_job,
-)
+from repro.core import run_empty_job, run_encryption_job, run_pi_job
 from repro.hadoop.metrics import analyze_job
 
 __all__ = ["main", "build_parser"]
@@ -40,8 +48,30 @@ BACKENDS = {
     "java-power6": Backend.JAVA_POWER6,
     "cell": Backend.CELL_SPE_DIRECT,
     "cell-mr": Backend.CELL_SPE_MAPREDUCE,
+    "gpu": Backend.GPU_TESLA,
     "empty": Backend.EMPTY,
 }
+
+EPILOG = (
+    "Sweeps are declarative scenarios; see docs/EXPERIMENTS.md for the "
+    "registry, the parallel-driver determinism contract, and how to add "
+    "a scenario."
+)
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _add_sweep_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--seed", type=int, default=1234,
+                   help="root seed threaded into every simulated point")
+    p.add_argument("--workers", type=_positive_int, default=1,
+                   help="parallel sweep processes (results are byte-"
+                        "identical at any worker count)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -49,20 +79,27 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Reproduction of 'Speeding Up Distributed MapReduce "
         "Applications Using Hardware Accelerators' (ICPP 2009)",
+        epilog=EPILOG,
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("info", help="print the calibration profile")
+    sub.add_parser("scenarios", help="list registered sweep scenarios")
 
-    sub.add_parser("fig2", help="raw node encryption bandwidth (Fig. 2)")
-    sub.add_parser("fig6", help="raw node Pi rates (Fig. 6)")
+    p2 = sub.add_parser("fig2", help="raw node encryption bandwidth (Fig. 2)")
+    _add_sweep_common(p2)
+
+    p6 = sub.add_parser("fig6", help="raw node Pi rates (Fig. 6)")
+    _add_sweep_common(p6)
 
     p4 = sub.add_parser("fig4", help="proportional-dataset encryption (Fig. 4)")
     p4.add_argument("--nodes", type=int, nargs="*", default=[12, 24, 36, 48, 60])
+    _add_sweep_common(p4)
 
     p5 = sub.add_parser("fig5", help="fixed-dataset encryption (Fig. 5)")
     p5.add_argument("--nodes", type=int, nargs="*", default=[4, 8, 16, 32, 64])
     p5.add_argument("--data-gb", type=float, default=120.0)
+    _add_sweep_common(p5)
 
     p7 = sub.add_parser("fig7", help="distributed Pi sample sweep (Fig. 7)")
     p7.add_argument("--nodes", type=int, default=50)
@@ -70,10 +107,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--samples", type=float, nargs="*",
         default=[3e3, 3e5, 3e7, 3e9, 3e11, 3e12],
     )
+    _add_sweep_common(p7)
 
     p8 = sub.add_parser("fig8", help="distributed Pi node scaling (Fig. 8)")
     p8.add_argument("--nodes", type=int, nargs="*", default=[4, 8, 16, 32, 64])
     p8.add_argument("--samples", type=float, default=1e11)
+    _add_sweep_common(p8)
+
+    ps = sub.add_parser(
+        "sweep",
+        help="run any registered scenario's parameter grid",
+        epilog=EPILOG,
+    )
+    ps.add_argument("scenario", help="registered scenario name (see `repro scenarios`)")
+    ps.add_argument("--grid", action="append", default=[], metavar="KEY=V1,V2,...",
+                    help="override a grid parameter's values or a fixed "
+                         "parameter's value; repeatable")
+    ps.add_argument("--out", type=Path, default=Path("results"),
+                    help="results directory (default: results/)")
+    ps.add_argument("--no-save", action="store_true",
+                    help="print only; skip writing JSON/CSV results")
+    _add_sweep_common(ps)
 
     pe = sub.add_parser("encrypt", help="one distributed encryption job")
     pe.add_argument("--nodes", type=int, default=8)
@@ -119,62 +173,80 @@ def _cmd_info(out) -> int:
     return 0
 
 
-def _cmd_fig4(nodes, out) -> int:
-    calib = PAPER_CALIBRATION
-    series = []
-    for label, backend in (("Java Mapper", Backend.JAVA_PPE),
-                           ("Cell BE Mapper", Backend.CELL_SPE_DIRECT)):
-        s = Series(label)
-        for n in nodes:
-            r = run_encryption_job(n, n * calib.mappers_per_node * GB, backend)
-            s.append(n, r.makespan_s)
-        series.append(s)
-    _print_series(series, "Nodes", "Time (s)", "Fig. 4: 1 GB per mapper", out)
+def _cmd_scenarios(out) -> int:
+    rows = []
+    for sc in all_scenarios():
+        grid = "; ".join(f"{k}={','.join(str(v) for v in vs)}" for k, vs in sc.grid.items())
+        fixed = "; ".join(f"{k}={v}" for k, v in sc.defaults.items()) or "-"
+        rows.append({
+            "scenario": sc.name,
+            "figure": sc.figure or "-",
+            "curves": len(sc.curves),
+            "grid": grid,
+            "fixed": fixed,
+        })
+    print(format_table(rows), file=out)
+    print(file=out)
+    print(EPILOG, file=out)
     return 0
 
 
-def _cmd_fig5(nodes, data_gb, out) -> int:
-    series = []
-    for label, backend in (("Empty Mapper", Backend.EMPTY),
-                           ("Java Mapper", Backend.JAVA_PPE),
-                           ("Cell Mapper", Backend.CELL_SPE_DIRECT)):
-        s = Series(label)
-        for n in nodes:
-            r = (run_empty_job(n, data_gb * GB) if backend is Backend.EMPTY
-                 else run_encryption_job(n, data_gb * GB, backend))
-            s.append(n, r.makespan_s)
-        series.append(s)
-    _print_series(series, "Nodes", "Time (s)", f"Fig. 5: {data_gb:.0f} GB fixed", out)
+#: fig* command → scenario override builder. Each maps the command's
+#: legacy flags onto registry overrides so the CLI surface is unchanged.
+_FIG_OVERRIDES = {
+    "fig2": lambda args: {},
+    "fig4": lambda args: {"nodes": args.nodes},
+    "fig5": lambda args: {"nodes": args.nodes, "data_gb": args.data_gb},
+    "fig6": lambda args: {},
+    "fig7": lambda args: {"nodes": args.nodes, "samples": args.samples},
+    "fig8": lambda args: {"nodes": args.nodes, "samples": args.samples},
+}
+
+
+def _cmd_fig(args, out) -> int:
+    result = run_sweep(
+        args.command,
+        _FIG_OVERRIDES[args.command](args),
+        seed=args.seed,
+        workers=args.workers,
+    )
+    _print_series(result.series, result.xlabel, result.ylabel, result.title, out)
     return 0
 
 
-def _cmd_fig7(nodes, samples, out) -> int:
-    series = []
-    for label, backend in (("Java Mapper", Backend.JAVA_PPE),
-                           ("Cell BE Mapper", Backend.CELL_SPE_DIRECT)):
-        s = Series(label)
-        for c in samples:
-            r = run_pi_job(nodes, c, backend)
-            s.append(c, r.makespan_s)
-        series.append(s)
-    _print_series(series, "Samples", "Time (s)", f"Fig. 7: Pi on {nodes} nodes", out)
+def _cmd_sweep(args, out) -> int:
+    # Usage errors (unknown scenario, malformed/unknown grid values) get
+    # a friendly message + exit 2; failures inside a running scenario
+    # propagate with their traceback.
+    try:
+        overrides = parse_grid_overrides(args.grid)
+        scenario = get_scenario(args.scenario).with_overrides(
+            overrides, seed=args.seed
+        )
+    except (GridError, KeyError) as exc:
+        msg = exc.args[0] if exc.args else str(exc)
+        print(f"error: {msg}", file=out)
+        return 2
+    result = run_sweep(scenario, workers=args.workers)
+    _print_series(result.series, result.xlabel, result.ylabel, result.title, out)
+    print(file=out)
+    print(sweep_summary(result.series, x_name=result.xlabel), file=out)
+    print(file=out)
+    print(f"sweep {result.scenario}: {len(result.points)} points, "
+          f"{result.workers} worker(s), {result.elapsed_s:.2f}s, "
+          f"sha256 {result.sha256()[:16]}", file=out)
+    if not args.no_save:
+        paths = save_sweep(result, args.out)
+        print(f"wrote {paths['json']} {paths['csv']} {paths['meta']}", file=out)
     return 0
 
 
-def _cmd_fig8(nodes, samples, out) -> int:
-    series = []
-    for label, backend, mult in (
-        ("Java Mapper", Backend.JAVA_PPE, 1),
-        ("Cell BE Mapper", Backend.CELL_SPE_DIRECT, 1),
-        ("Cell BE Mapper (10x)", Backend.CELL_SPE_DIRECT, 10),
-    ):
-        s = Series(label)
-        for n in nodes:
-            r = run_pi_job(n, samples * mult, backend)
-            s.append(n, r.makespan_s)
-        series.append(s)
-    _print_series(series, "Nodes", "Time (s)", f"Fig. 8: Pi of {samples:.0e} samples", out)
-    return 0
+def _cluster_mix(backend: Backend) -> dict:
+    """Node-hardware mix implied by the chosen backend: the gpu alias
+    needs GPU-equipped (not Cell-equipped) workers to schedule onto."""
+    if backend is Backend.GPU_TESLA:
+        return {"accelerated_fraction": 0.0, "gpu_fraction": 1.0}
+    return {}
 
 
 def _cmd_encrypt(args, out) -> int:
@@ -182,13 +254,20 @@ def _cmd_encrypt(args, out) -> int:
     if backend is Backend.EMPTY:
         result = run_empty_job(args.nodes, args.data_gb * GB, seed=args.seed)
     else:
-        result = run_encryption_job(args.nodes, args.data_gb * GB, backend, seed=args.seed)
+        result = run_encryption_job(
+            args.nodes, args.data_gb * GB, backend, seed=args.seed,
+            **_cluster_mix(backend),
+        )
     _print_job(result, out)
     return 0 if result.succeeded else 1
 
 
 def _cmd_pi(args, out) -> int:
-    result = run_pi_job(args.nodes, args.samples, BACKENDS[args.backend], seed=args.seed)
+    backend = BACKENDS[args.backend]
+    result = run_pi_job(
+        args.nodes, args.samples, backend, seed=args.seed,
+        **_cluster_mix(backend),
+    )
     _print_job(result, out)
     return 0 if result.succeeded else 1
 
@@ -205,20 +284,12 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "info":
         return _cmd_info(out)
-    if args.command == "fig2":
-        _print_series(raw_encryption_bandwidth(), "Size(MB)", "MB/s", "Fig. 2", out)
-        return 0
-    if args.command == "fig6":
-        _print_series(raw_pi_rates(), "Samples", "Samples/sec", "Fig. 6", out)
-        return 0
-    if args.command == "fig4":
-        return _cmd_fig4(args.nodes, out)
-    if args.command == "fig5":
-        return _cmd_fig5(args.nodes, args.data_gb, out)
-    if args.command == "fig7":
-        return _cmd_fig7(args.nodes, args.samples, out)
-    if args.command == "fig8":
-        return _cmd_fig8(args.nodes, args.samples, out)
+    if args.command == "scenarios":
+        return _cmd_scenarios(out)
+    if args.command in _FIG_OVERRIDES:
+        return _cmd_fig(args, out)
+    if args.command == "sweep":
+        return _cmd_sweep(args, out)
     if args.command == "encrypt":
         return _cmd_encrypt(args, out)
     if args.command == "pi":

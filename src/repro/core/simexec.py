@@ -173,16 +173,28 @@ def run_encryption_job(
     seed: int = 1234,
     trace: bool = False,
     accelerated_fraction: float = 1.0,
+    gpu_fraction: float = 0.0,
+    slow_nodes: Optional[dict[int, float]] = None,
+    speculative: bool = False,
+    fallback_backend: Optional[Backend] = None,
     return_cluster: bool = False,
 ):
     """One distributed AES job (Figs. 4 and 5).
 
     ``data_bytes`` of input are pre-loaded into HDFS, split across
     ``num_map_tasks`` mappers (default: every slot), and encrypted with
-    the chosen kernel backend.
+    the chosen kernel backend. The extension knobs (heterogeneous node
+    mixes, stragglers, speculative re-execution, backend fallback) feed
+    the §V scenarios in the experiment registry.
     """
     sim = SimulatedCluster(
-        nodes, calib, seed=seed, trace=trace, accelerated_fraction=accelerated_fraction
+        nodes,
+        calib,
+        seed=seed,
+        trace=trace,
+        accelerated_fraction=accelerated_fraction,
+        gpu_fraction=gpu_fraction,
+        slow_nodes=slow_nodes,
     )
     sim.ingest("/data/plaintext", int(data_bytes))
     conf = JobConf(
@@ -193,6 +205,8 @@ def run_encryption_job(
         num_map_tasks=num_map_tasks or _default_maps(nodes, calib),
         record_bytes=calib.record_bytes,
         num_reduce_tasks=0,
+        speculative=speculative,
+        fallback_backend=fallback_backend,
     )
     result = sim.run_job(conf)
     return (result, sim) if return_cluster else result
@@ -217,11 +231,21 @@ def run_pi_job(
     seed: int = 1234,
     trace: bool = False,
     accelerated_fraction: float = 1.0,
+    gpu_fraction: float = 0.0,
+    slow_nodes: Optional[dict[int, float]] = None,
+    speculative: bool = False,
+    fallback_backend: Optional[Backend] = None,
     return_cluster: bool = False,
 ):
     """One distributed Pi job (Figs. 7 and 8)."""
     sim = SimulatedCluster(
-        nodes, calib, seed=seed, trace=trace, accelerated_fraction=accelerated_fraction
+        nodes,
+        calib,
+        seed=seed,
+        trace=trace,
+        accelerated_fraction=accelerated_fraction,
+        gpu_fraction=gpu_fraction,
+        slow_nodes=slow_nodes,
     )
     conf = JobConf(
         name=f"pi-{backend.value}",
@@ -230,6 +254,8 @@ def run_pi_job(
         samples=samples,
         num_map_tasks=num_map_tasks or _default_maps(nodes, calib),
         num_reduce_tasks=1,
+        speculative=speculative,
+        fallback_backend=fallback_backend,
     )
     result = sim.run_job(conf)
     return (result, sim) if return_cluster else result

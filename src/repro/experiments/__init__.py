@@ -1,0 +1,43 @@
+"""Declarative experiments: scenario registry + parallel sweep driver.
+
+Public surface:
+
+- :class:`~repro.experiments.scenario.Scenario` — one named experiment
+  as data (grid, defaults, seed, curves, point function).
+- :func:`~repro.experiments.registry.get_scenario`,
+  :func:`~repro.experiments.registry.register`,
+  :func:`~repro.experiments.registry.scenario_names` — the registry all
+  figures and extension studies live in.
+- :func:`~repro.experiments.driver.run_sweep` — fan a grid across
+  workers and aggregate deterministically (byte-identical to serial).
+- :func:`~repro.experiments.persistence.save_sweep` — JSON/CSV under
+  ``results/``.
+
+See ``docs/EXPERIMENTS.md`` for the determinism contract and how to add
+a scenario.
+"""
+
+from repro.experiments.driver import SweepResult, run_sweep
+from repro.experiments.persistence import DEFAULT_RESULTS_DIR, save_sweep, sweep_csv
+from repro.experiments.registry import (
+    all_scenarios,
+    get_scenario,
+    register,
+    scenario_names,
+)
+from repro.experiments.scenario import GridError, Scenario, parse_grid_overrides
+
+__all__ = [
+    "DEFAULT_RESULTS_DIR",
+    "GridError",
+    "Scenario",
+    "SweepResult",
+    "all_scenarios",
+    "get_scenario",
+    "parse_grid_overrides",
+    "register",
+    "run_sweep",
+    "save_sweep",
+    "scenario_names",
+    "sweep_csv",
+]

@@ -1,0 +1,188 @@
+"""The parallel sweep driver.
+
+Fans a scenario's parameter grid out across ``multiprocessing`` workers
+— every grid point is an isolated simulation in its own process with a
+fresh :class:`~repro.sim.engine.Environment` — streams results back as
+they finish, and reassembles them **in canonical grid order**, so the
+merged series are byte-identical to a serial run regardless of worker
+count or completion order. That is the determinism contract the
+golden-series tests pin down (see ``docs/EXPERIMENTS.md``).
+
+Workers receive only ``(scenario_name, point_index, cfg, reference)``:
+the scenario is re-resolved from the registry on the worker side, and
+the parent's engine mode (fast vs. reference) is re-applied explicitly
+so sweeps behave identically under both loops and any start method.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Optional, Union
+
+import repro.sim.engine as engine
+from repro.analysis.series import Series
+from repro.experiments.registry import get_scenario
+from repro.experiments.scenario import Scenario
+
+__all__ = ["SweepResult", "run_sweep"]
+
+
+@dataclass
+class SweepResult:
+    """Everything one sweep produced, plus how it was produced.
+
+    ``canonical_json`` covers only run-independent content (no worker
+    count, no wall-clock), which is what persistence writes and what the
+    byte-identity guarantees apply to.
+    """
+
+    scenario: str
+    title: str
+    seed: int
+    x: str
+    xlabel: str
+    ylabel: str
+    grid: dict[str, list]
+    defaults: dict[str, Any]
+    points: list[dict[str, Any]] = field(default_factory=list)
+    series: list[Series] = field(default_factory=list)
+    workers: int = 1
+    elapsed_s: float = 0.0
+
+    def canonical_dict(self) -> dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "title": self.title,
+            "seed": self.seed,
+            "x": self.x,
+            "xlabel": self.xlabel,
+            "ylabel": self.ylabel,
+            "grid": {k: list(v) for k, v in self.grid.items()},
+            "defaults": dict(self.defaults),
+            "points": self.points,
+            "series": [
+                {"label": s.label, "xs": s.xs, "ys": s.ys} for s in self.series
+            ],
+        }
+
+    def canonical_json(self) -> str:
+        """Deterministic serialization: sorted keys, no whitespace; float
+        values keep full ``repr`` precision, so equal bytes mean equal
+        floats bit for bit."""
+        return json.dumps(self.canonical_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def pretty_json(self) -> str:
+        """The human-readable form of :meth:`canonical_json` — the exact
+        bytes persistence writes and the golden tests freeze (one
+        definition, so the two cannot drift apart)."""
+        return json.dumps(self.canonical_dict(), sort_keys=True, indent=2) + "\n"
+
+    def sha256(self) -> str:
+        return hashlib.sha256(self.canonical_json().encode()).hexdigest()
+
+
+def _run_point_task(task: tuple) -> tuple[int, dict[str, float]]:
+    """Worker-side: one grid point, resolved by scenario name."""
+    name, idx, cfg, reference = task
+    prev = engine.set_reference_mode(reference)
+    try:
+        scenario = get_scenario(name)
+        return idx, dict(scenario.run_point(cfg))
+    finally:
+        engine.set_reference_mode(prev)
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Prefer fork (cheap, inherits the registry so test-registered
+    scenarios sweep too); fall back to spawn where fork is unavailable
+    (spawn re-imports, so only builtin scenarios resolve there)."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def run_sweep(
+    scenario: Union[str, Scenario],
+    overrides: Optional[Mapping[str, Any]] = None,
+    *,
+    seed: Optional[int] = None,
+    workers: int = 1,
+    progress: Optional[Callable[[int, int], None]] = None,
+) -> SweepResult:
+    """Run one scenario's full grid and aggregate deterministically.
+
+    Parameters
+    ----------
+    scenario: registry name or a :class:`Scenario` instance (instances
+        must be registered when ``workers > 1``, so worker processes can
+        resolve them by name).
+    overrides: grid/default replacements (see
+        :meth:`Scenario.with_overrides`).
+    seed: root seed override, threaded into every point's ``cfg``.
+    workers: process count; ``1`` runs serially in-process. Results are
+        byte-identical across any worker count.
+    progress: optional ``(done, total)`` callback, called as points
+        finish (in completion order).
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    sc = get_scenario(scenario) if isinstance(scenario, str) else scenario
+    sc = sc.with_overrides(overrides, seed=seed)
+    points = sc.points()
+    reference = engine.REFERENCE_MODE
+    tasks = [(sc.name, i, cfg, reference) for i, cfg in enumerate(points)]
+
+    t0 = time.perf_counter()
+    results: list[Optional[dict[str, float]]] = [None] * len(points)
+    if workers == 1 or len(points) == 1:
+        # In-process: call the scenario directly (no registry round trip,
+        # so unregistered Scenario instances work serially).
+        for i, cfg in enumerate(points):
+            results[i] = dict(sc.run_point(cfg))
+            if progress:
+                progress(i + 1, len(points))
+    else:
+        try:
+            registered = get_scenario(sc.name)
+        except KeyError:
+            registered = None
+        if registered is None or registered.run_point is not sc.run_point:
+            raise ValueError(
+                f"scenario {sc.name!r} must be registered to sweep with "
+                f"workers > 1 (workers re-resolve it by name)"
+            )
+        ctx = _pool_context()
+        with ctx.Pool(processes=min(workers, len(points))) as pool:
+            done = 0
+            for idx, values in pool.imap_unordered(_run_point_task, tasks,
+                                                   chunksize=1):
+                results[idx] = values
+                done += 1
+                if progress:
+                    progress(done, len(tasks))
+    elapsed = time.perf_counter() - t0
+
+    series = sc.assemble(results)  # raises if any point went missing
+    point_rows = [
+        {"params": {k: v for k, v in cfg.items() if k != "seed"},
+         "values": values}
+        for cfg, values in zip(points, results)
+    ]
+    return SweepResult(
+        scenario=sc.name,
+        title=sc.format_title(),
+        seed=sc.seed,
+        x=sc.x,
+        xlabel=sc.xlabel,
+        ylabel=sc.ylabel,
+        grid={k: list(v) for k, v in sc.grid.items()},
+        defaults=dict(sc.defaults),
+        points=point_rows,
+        series=series,
+        workers=workers,
+        elapsed_s=elapsed,
+    )

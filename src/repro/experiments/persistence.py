@@ -1,0 +1,75 @@
+"""Sweep result persistence: JSON + CSV under ``results/``.
+
+The JSON file is exactly :meth:`SweepResult.canonical_json` (pretty-
+printed deterministically): no worker counts, no timestamps, no wall-
+clock — re-running the same sweep at any parallelism must reproduce the
+file byte for byte. Run metadata that legitimately varies (workers,
+elapsed time, the calibration profile) goes to a ``*.meta.json``
+sidecar that is excluded from all byte-identity claims.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.perf.calibration import PAPER_CALIBRATION
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.driver import SweepResult
+
+__all__ = ["DEFAULT_RESULTS_DIR", "save_sweep", "sweep_csv"]
+
+DEFAULT_RESULTS_DIR = Path("results")
+
+
+def sweep_csv(result: "SweepResult") -> str:
+    """The series as shared-x CSV: one x column, one column per curve.
+
+    Floats are serialized with ``repr`` so the CSV carries the same
+    bit-exact values as the JSON.
+    """
+    xs = result.series[0].xs if result.series else []
+    header = [result.x] + [s.label for s in result.series]
+    lines = [",".join(_csv_cell(h) for h in header)]
+    for i, x in enumerate(xs):
+        row = [_fmt_num(x)]
+        for s in result.series:
+            row.append(_fmt_num(s.ys[i]) if i < len(s.ys) else "")
+        lines.append(",".join(row))
+    return "\n".join(lines) + "\n"
+
+
+def _fmt_num(v: float) -> str:
+    return repr(int(v)) if float(v).is_integer() and abs(v) < 1e15 else repr(v)
+
+
+def _csv_cell(v: str) -> str:
+    return f'"{v}"' if ("," in v or '"' in v) else v
+
+
+def save_sweep(result: "SweepResult", outdir: Path = DEFAULT_RESULTS_DIR) -> dict[str, Path]:
+    """Write ``<scenario>.json``, ``<scenario>.csv``, ``<scenario>.meta.json``.
+
+    Returns the written paths keyed ``json``/``csv``/``meta``.
+    """
+    outdir = Path(outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    base = result.scenario
+    paths = {
+        "json": outdir / f"{base}.json",
+        "csv": outdir / f"{base}.csv",
+        "meta": outdir / f"{base}.meta.json",
+    }
+    paths["json"].write_text(result.pretty_json())
+    paths["csv"].write_text(sweep_csv(result))
+    meta = {
+        "scenario": base,
+        "workers": result.workers,
+        "elapsed_s": round(result.elapsed_s, 3),
+        "sha256": result.sha256(),
+        "calibration": PAPER_CALIBRATION.to_dict(),
+    }
+    paths["meta"].write_text(json.dumps(meta, sort_keys=True, indent=2) + "\n")
+    return paths

@@ -1,0 +1,52 @@
+"""The scenario registry.
+
+Every runnable experiment is registered here by name — the paper figures
+plus the extension studies — so the CLI, the sweep driver, the perf
+harness, and the golden-series tests all resolve the same declarative
+definition. Worker processes re-resolve scenarios by name, so only a
+``(name, point_index, cfg)`` triple ever crosses a process boundary.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.scenario import Scenario
+
+__all__ = ["all_scenarios", "get_scenario", "register", "scenario_names"]
+
+_REGISTRY: dict[str, Scenario] = {}
+
+
+def register(scenario: Scenario, replace: bool = False) -> Scenario:
+    """Add ``scenario`` under its name; duplicate names are an error
+    unless ``replace=True`` (used by tests to shadow a builtin)."""
+    if not replace and scenario.name in _REGISTRY:
+        raise ValueError(f"scenario {scenario.name!r} already registered")
+    _REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a scenario, with the known names in the error message."""
+    _ensure_builtins()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; known: {', '.join(scenario_names())}"
+        ) from None
+
+
+def scenario_names() -> list[str]:
+    _ensure_builtins()
+    return sorted(_REGISTRY)
+
+
+def all_scenarios() -> list[Scenario]:
+    _ensure_builtins()
+    return [_REGISTRY[n] for n in scenario_names()]
+
+
+def _ensure_builtins() -> None:
+    # Deferred so `import repro.experiments.registry` from a scenario
+    # module (to self-register) is not circular.
+    from repro.experiments import scenarios  # noqa: F401

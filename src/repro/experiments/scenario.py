@@ -1,0 +1,207 @@
+"""Declarative sweep scenarios.
+
+A :class:`Scenario` names one experiment family — a paper figure or an
+extension study — as data: a parameter grid, fixed defaults, a seed, the
+declared curve order, and a pure ``run_point`` function that maps one
+fully-bound parameter dict to ``{curve_label: y}``. Everything else
+(fan-out, aggregation, persistence, plotting) is generic and lives in
+:mod:`repro.experiments.driver`.
+
+The determinism contract: ``run_point`` must depend only on its ``cfg``
+argument (which includes the seed) and module-level calibration
+constants. Given that, any execution order — serial, or parallel across
+processes — reassembles into byte-identical series.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.analysis.series import Series
+
+__all__ = ["GridError", "Scenario", "parse_grid_overrides"]
+
+#: One grid point, fully bound: every grid param, every default, plus "seed".
+PointFn = Callable[[Mapping[str, Any]], Mapping[str, float]]
+
+
+class GridError(ValueError):
+    """Raised for unknown parameters or malformed grid overrides."""
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named, declaratively-swept experiment.
+
+    Attributes
+    ----------
+    name: registry key (``repro sweep <name>``).
+    title: report heading; may reference defaults, e.g.
+        ``"Fig. 5: {data_gb:.0f} GB fixed"``.
+    description: one-paragraph motivation shown by ``repro scenarios``.
+    run_point: pure function of one bound parameter dict returning
+        ``{curve_label: y}`` for every curve at that point.
+    grid: ordered sweepable parameters → value tuples. The cartesian
+        product in row-major order defines the canonical point order.
+    x: which grid parameter is the x axis of the figure.
+    defaults: fixed scalar parameters, overridable per run.
+    curves: declared curve order (series appear in exactly this order).
+    seed: root seed threaded into every point as ``cfg["seed"]``.
+    figure: paper figure tag (``"fig8"``) or None for extension studies.
+    """
+
+    name: str
+    title: str
+    description: str
+    run_point: PointFn
+    grid: dict[str, tuple]
+    x: str
+    curves: tuple[str, ...]
+    defaults: dict[str, Any] = field(default_factory=dict)
+    seed: int = 1234
+    xlabel: str = "x"
+    ylabel: str = "Time (s)"
+    figure: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.grid:
+            raise GridError(f"scenario {self.name!r} has an empty grid")
+        if self.x not in self.grid:
+            raise GridError(f"x axis {self.x!r} is not a grid parameter")
+        for param, values in self.grid.items():
+            if not values:
+                raise GridError(f"grid parameter {param!r} has no values")
+        overlap = set(self.grid) & set(self.defaults)
+        if overlap:
+            raise GridError(f"parameters both grid and default: {sorted(overlap)}")
+        if "seed" in self.grid or "seed" in self.defaults:
+            raise GridError("'seed' is reserved (set Scenario.seed)")
+
+    # -- derivation ---------------------------------------------------------
+    def with_overrides(
+        self,
+        overrides: Mapping[str, Any] | None = None,
+        seed: int | None = None,
+    ) -> "Scenario":
+        """A copy with grid lists / default scalars / seed replaced.
+
+        A grid parameter takes a sequence of values; a default takes one
+        scalar. Unknown names raise :class:`GridError` (catching typos in
+        ``--grid`` long before a worker process would).
+        """
+        grid = dict(self.grid)
+        defaults = dict(self.defaults)
+        for key, value in (overrides or {}).items():
+            if key in grid:
+                values = tuple(value) if isinstance(value, (list, tuple)) else (value,)
+                grid[key] = tuple(_cast(self.name, key, type(grid[key][0]), v)
+                                  for v in values)
+            elif key in defaults:
+                if isinstance(value, (list, tuple)):
+                    if len(value) != 1:
+                        raise GridError(
+                            f"{key!r} is a fixed parameter of {self.name!r}; "
+                            f"give one value, not {len(value)}"
+                        )
+                    value = value[0]
+                if defaults[key] is not None:
+                    value = _cast(self.name, key, type(defaults[key]), value)
+                defaults[key] = value
+            else:
+                known = sorted(list(grid) + list(defaults))
+                raise GridError(
+                    f"unknown parameter {key!r} for scenario {self.name!r}; "
+                    f"known: {', '.join(known)}"
+                )
+        return replace(
+            self,
+            grid=grid,
+            defaults=defaults,
+            seed=self.seed if seed is None else int(seed),
+        )
+
+    def format_title(self) -> str:
+        """``title`` with defaults substituted (best effort)."""
+        try:
+            return self.title.format(**self.defaults)
+        except (KeyError, IndexError):  # pragma: no cover - authoring error
+            return self.title
+
+    # -- the canonical point order ------------------------------------------
+    def points(self) -> list[dict[str, Any]]:
+        """Every grid point, fully bound, in canonical row-major order."""
+        names = list(self.grid)
+        out = []
+        for combo in itertools.product(*(self.grid[n] for n in names)):
+            cfg = dict(self.defaults)
+            cfg.update(zip(names, combo))
+            cfg["seed"] = self.seed
+            out.append(cfg)
+        return out
+
+    # -- deterministic aggregation ------------------------------------------
+    def assemble(self, results: Sequence[Mapping[str, float]]) -> list[Series]:
+        """Merge per-point results (in canonical point order) into series.
+
+        One series per (curve, non-x grid combination), curves in
+        declared order, x values in grid order — independent of the
+        order the results were *computed* in, which is what makes the
+        parallel driver byte-identical to a serial run.
+        """
+        points = self.points()
+        if len(results) != len(points):
+            raise ValueError(
+                f"{self.name}: {len(results)} results for {len(points)} points"
+            )
+        extra_params = [p for p in self.grid if p != self.x]
+        series: dict[tuple, Series] = {}
+        for cfg, values in zip(points, results):
+            missing = [c for c in self.curves if c not in values]
+            if missing:
+                raise ValueError(f"{self.name}: point missing curves {missing}")
+            combo = tuple((p, cfg[p]) for p in extra_params)
+            suffix = "".join(f" [{p}={v:g}]" if isinstance(v, float) else f" [{p}={v}]"
+                             for p, v in combo)
+            for curve in self.curves:
+                key = (curve, combo)
+                s = series.get(key)
+                if s is None:
+                    s = series[key] = Series(label=curve + suffix)
+                s.append(cfg[self.x], values[curve])
+        # Declared curve order is the outer sort key; extra-param combos
+        # follow grid order because dicts preserve first-seen insertion.
+        ordered: list[Series] = []
+        for curve in self.curves:
+            ordered.extend(s for (c, _), s in series.items() if c == curve)
+        return ordered
+
+
+def _cast(scenario: str, key: str, typ: type, value: Any) -> Any:
+    """Cast an override to the parameter's existing type; a bad literal
+    is a user error (GridError), not an internal ValueError."""
+    try:
+        return typ(value)
+    except (TypeError, ValueError):
+        raise GridError(
+            f"cannot parse {value!r} as {typ.__name__} for parameter "
+            f"{key!r} of scenario {scenario!r}"
+        ) from None
+
+
+def parse_grid_overrides(specs: Sequence[str]) -> dict[str, list[str]]:
+    """Parse ``--grid key=v1,v2,...`` strings into an override mapping.
+
+    Values stay strings; :meth:`Scenario.with_overrides` casts them to
+    the type of the parameter's existing values.
+    """
+    out: dict[str, list[str]] = {}
+    for spec in specs:
+        key, sep, rest = spec.partition("=")
+        key = key.strip()
+        values = [v.strip() for v in rest.split(",") if v.strip()]
+        if not sep or not key or not values:
+            raise GridError(f"malformed --grid {spec!r}; expected key=v1,v2,...")
+        out[key] = values
+    return out

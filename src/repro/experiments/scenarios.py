@@ -1,0 +1,309 @@
+"""Builtin scenarios: the paper's figures plus the extension studies.
+
+Each figure from the evaluation (§IV) is one registered
+:class:`~repro.experiments.scenario.Scenario` whose defaults reproduce
+the paper's exact grid; the extension scenarios open the §V questions
+(heterogeneous node mixes, fault injection, GPU offload, skewed split
+assignments) on the same declarative surface. Point functions are
+module-level so worker processes can resolve them by reference.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.core.raw import (
+    FIG2_CONFIGS,
+    FIG6_CONFIGS,
+    raw_encryption_bandwidth,
+    raw_pi_rates,
+)
+from repro.core.simexec import run_empty_job, run_encryption_job, run_pi_job
+from repro.experiments.registry import register
+from repro.experiments.scenario import Scenario
+from repro.perf.calibration import GB, Backend, PAPER_CALIBRATION
+
+__all__ = ["FIGURE_SCENARIOS", "EXTENSION_SCENARIOS"]
+
+_CALIB = PAPER_CALIBRATION
+
+
+# --------------------------------------------------------------------------- #
+# Paper figures                                                                #
+# --------------------------------------------------------------------------- #
+
+
+def fig2_point(cfg: Mapping[str, Any]) -> dict[str, float]:
+    """Raw single-node AES bandwidth at one working-set size (Fig. 2)."""
+    out = {}
+    for backend in FIG2_CONFIGS:
+        (series,) = raw_encryption_bandwidth(
+            sizes_mb=[cfg["size_mb"]], configs=[backend]
+        )
+        out[series.label] = series.ys[0]
+    return out
+
+
+def fig4_point(cfg: Mapping[str, Any]) -> dict[str, float]:
+    """Proportional-dataset encryption at one node count (Fig. 4)."""
+    n = cfg["nodes"]
+    data = n * _CALIB.mappers_per_node * cfg["gb_per_mapper"] * GB
+    out = {}
+    for label, backend in (
+        ("Java Mapper", Backend.JAVA_PPE),
+        ("Cell BE Mapper", Backend.CELL_SPE_DIRECT),
+    ):
+        out[label] = run_encryption_job(n, data, backend, seed=cfg["seed"]).makespan_s
+    return out
+
+
+def fig5_point(cfg: Mapping[str, Any]) -> dict[str, float]:
+    """Fixed-dataset encryption at one node count (Fig. 5)."""
+    n, data = cfg["nodes"], cfg["data_gb"] * GB
+    seed = cfg["seed"]
+    return {
+        "Empty Mapper": run_empty_job(n, data, seed=seed).makespan_s,
+        "Java Mapper": run_encryption_job(
+            n, data, Backend.JAVA_PPE, seed=seed
+        ).makespan_s,
+        "Cell Mapper": run_encryption_job(
+            n, data, Backend.CELL_SPE_DIRECT, seed=seed
+        ).makespan_s,
+    }
+
+
+def fig6_point(cfg: Mapping[str, Any]) -> dict[str, float]:
+    """Raw single-node Pi sample rate at one problem size (Fig. 6)."""
+    out = {}
+    for backend in FIG6_CONFIGS:
+        (series,) = raw_pi_rates(sample_counts=[cfg["samples"]], configs=[backend])
+        out[series.label] = series.ys[0]
+    return out
+
+
+def fig7_point(cfg: Mapping[str, Any]) -> dict[str, float]:
+    """Distributed Pi at one sample count, fixed cluster (Fig. 7)."""
+    n, c, seed = cfg["nodes"], cfg["samples"], cfg["seed"]
+    return {
+        "Java Mapper": run_pi_job(n, c, Backend.JAVA_PPE, seed=seed).makespan_s,
+        "Cell BE Mapper": run_pi_job(
+            n, c, Backend.CELL_SPE_DIRECT, seed=seed
+        ).makespan_s,
+    }
+
+
+def fig8_point(cfg: Mapping[str, Any]) -> dict[str, float]:
+    """Distributed Pi at one node count, fixed samples (Fig. 8)."""
+    n, c, seed = cfg["nodes"], cfg["samples"], cfg["seed"]
+    return {
+        "Java Mapper": run_pi_job(n, c, Backend.JAVA_PPE, seed=seed).makespan_s,
+        "Cell BE Mapper": run_pi_job(
+            n, c, Backend.CELL_SPE_DIRECT, seed=seed
+        ).makespan_s,
+        "Cell BE Mapper (10x)": run_pi_job(
+            n, c * 10, Backend.CELL_SPE_DIRECT, seed=seed
+        ).makespan_s,
+    }
+
+
+FIGURE_SCENARIOS = (
+    register(Scenario(
+        name="fig2",
+        figure="fig2",
+        title="Fig. 2",
+        description="Raw node encryption bandwidth vs. working-set size; "
+                    "no Hadoop involved (§IV-A).",
+        run_point=fig2_point,
+        grid={"size_mb": (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)},
+        x="size_mb",
+        curves=("Cell BE", "MapReduce Cell", "PPC", "Power 6"),
+        xlabel="Size(MB)",
+        ylabel="MB/s",
+    )),
+    register(Scenario(
+        name="fig4",
+        figure="fig4",
+        title="Fig. 4: {gb_per_mapper:.0f} GB per mapper",
+        description="Distributed encryption with the dataset growing "
+                    "proportionally to the cluster (§IV-A).",
+        run_point=fig4_point,
+        grid={"nodes": (12, 24, 36, 48, 60)},
+        x="nodes",
+        curves=("Java Mapper", "Cell BE Mapper"),
+        defaults={"gb_per_mapper": 1.0},
+        xlabel="Nodes",
+    )),
+    register(Scenario(
+        name="fig5",
+        figure="fig5",
+        title="Fig. 5: {data_gb:.0f} GB fixed",
+        description="Distributed encryption of a fixed dataset as nodes "
+                    "scale, with the EmptyMapper overhead probe (§IV-A).",
+        run_point=fig5_point,
+        grid={"nodes": (4, 8, 16, 32, 64)},
+        x="nodes",
+        curves=("Empty Mapper", "Java Mapper", "Cell Mapper"),
+        defaults={"data_gb": 120.0},
+        xlabel="Nodes",
+    )),
+    register(Scenario(
+        name="fig6",
+        figure="fig6",
+        title="Fig. 6",
+        description="Raw node Pi estimation rate vs. problem size; the "
+                    "SPU-initialization crossover (§IV-B).",
+        run_point=fig6_point,
+        grid={"samples": (1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9)},
+        x="samples",
+        curves=("Cell BE", "PPC", "Power 6"),
+        xlabel="Samples",
+        ylabel="Samples/sec",
+    )),
+    register(Scenario(
+        name="fig7",
+        figure="fig7",
+        title="Fig. 7: Pi on {nodes} nodes",
+        description="Distributed Pi across sample counts on a fixed "
+                    "cluster (§IV-B).",
+        run_point=fig7_point,
+        grid={"samples": (3e3, 3e5, 3e7, 3e9, 3e11, 3e12)},
+        x="samples",
+        curves=("Java Mapper", "Cell BE Mapper"),
+        defaults={"nodes": 50},
+        xlabel="Samples",
+    )),
+    register(Scenario(
+        name="fig8",
+        figure="fig8",
+        title="Fig. 8: Pi of {samples:.0e} samples",
+        description="Distributed Pi node scaling at a fixed sample count, "
+                    "plus the 10x-samples curve (§IV-B).",
+        run_point=fig8_point,
+        grid={"nodes": (4, 8, 16, 32, 64)},
+        x="nodes",
+        curves=("Java Mapper", "Cell BE Mapper", "Cell BE Mapper (10x)"),
+        defaults={"samples": 1e11},
+        xlabel="Nodes",
+    )),
+)
+
+
+# --------------------------------------------------------------------------- #
+# Extension studies (§V questions)                                             #
+# --------------------------------------------------------------------------- #
+
+
+def hetero_point(cfg: Mapping[str, Any]) -> dict[str, float]:
+    """Encryption on a partially-accelerated cluster with Java fallback."""
+    n, data, seed = cfg["nodes"], cfg["data_gb"] * GB, cfg["seed"]
+    frac = cfg["accelerated_fraction"]
+    return {
+        "Cell (Java fallback)": run_encryption_job(
+            n, data, Backend.CELL_SPE_DIRECT,
+            seed=seed,
+            accelerated_fraction=frac,
+            fallback_backend=Backend.JAVA_PPE,
+        ).makespan_s,
+        "Java Mapper": run_encryption_job(
+            n, data, Backend.JAVA_PPE, seed=seed
+        ).makespan_s,
+    }
+
+
+def faults_point(cfg: Mapping[str, Any]) -> dict[str, float]:
+    """Pi with one straggler node, with and without speculation."""
+    n, c, seed = cfg["nodes"], cfg["samples"], cfg["seed"]
+    factor = cfg["slow_factor"]
+    slow = {1: float(factor)} if factor > 1 else None
+    out = {}
+    for label, speculative in (("No speculation", False), ("Speculative", True)):
+        out[label] = run_pi_job(
+            n, c, Backend.CELL_SPE_DIRECT,
+            seed=seed, slow_nodes=slow, speculative=speculative,
+        ).makespan_s
+    return out
+
+
+def gpu_point(cfg: Mapping[str, Any]) -> dict[str, float]:
+    """Pi node scaling: Cell blades vs. GPU-equipped nodes (§I outlook)."""
+    n, c, seed = cfg["nodes"], cfg["samples"], cfg["seed"]
+    return {
+        "Cell BE Mapper": run_pi_job(
+            n, c, Backend.CELL_SPE_DIRECT, seed=seed
+        ).makespan_s,
+        "GPU Mapper": run_pi_job(
+            n, c, Backend.GPU_TESLA,
+            seed=seed, accelerated_fraction=0.0, gpu_fraction=1.0,
+        ).makespan_s,
+    }
+
+
+def skew_point(cfg: Mapping[str, Any]) -> dict[str, float]:
+    """Fixed dataset split into more (smaller) map tasks than slots.
+
+    splits_per_slot=1 is the paper's one-split-per-mapper setting; larger
+    values trade per-task overhead against load-balance tail latency.
+    """
+    n, data, seed = cfg["nodes"], cfg["data_gb"] * GB, cfg["seed"]
+    maps = n * _CALIB.mappers_per_node * cfg["splits_per_slot"]
+    out = {}
+    for label, backend in (
+        ("Java Mapper", Backend.JAVA_PPE),
+        ("Cell BE Mapper", Backend.CELL_SPE_DIRECT),
+    ):
+        out[label] = run_encryption_job(
+            n, data, backend, num_map_tasks=maps, seed=seed
+        ).makespan_s
+    return out
+
+
+EXTENSION_SCENARIOS = (
+    register(Scenario(
+        name="hetero",
+        title="Heterogeneous cluster: {data_gb:.0f} GB on {nodes} nodes",
+        description="Only a fraction of nodes carry Cell accelerators; "
+                    "accelerated tasks fall back to Java elsewhere (§V).",
+        run_point=hetero_point,
+        grid={"accelerated_fraction": (0.0, 0.25, 0.5, 0.75, 1.0)},
+        x="accelerated_fraction",
+        curves=("Cell (Java fallback)", "Java Mapper"),
+        defaults={"nodes": 8, "data_gb": 8.0},
+        xlabel="Accelerated fraction",
+    )),
+    register(Scenario(
+        name="faults",
+        title="Straggler injection: Pi of {samples:.0e} on {nodes} nodes",
+        description="One node slowed by a factor; speculative re-execution "
+                    "should bound the tail (§III-A fault machinery).",
+        run_point=faults_point,
+        grid={"slow_factor": (1, 2, 4, 8)},
+        x="slow_factor",
+        curves=("No speculation", "Speculative"),
+        defaults={"nodes": 4, "samples": 4e9},
+        xlabel="Straggler slowdown",
+    )),
+    register(Scenario(
+        name="gpu",
+        title="GPU offload: Pi of {samples:.0e} samples",
+        description="The same offload interface bound to Tesla-class GPUs "
+                    "instead of Cell SPEs (§I: other accelerators).",
+        run_point=gpu_point,
+        grid={"nodes": (2, 4, 8, 16)},
+        x="nodes",
+        curves=("Cell BE Mapper", "GPU Mapper"),
+        defaults={"samples": 1e10},
+        xlabel="Nodes",
+    )),
+    register(Scenario(
+        name="skew",
+        title="Split skew: {data_gb:.0f} GB on {nodes} nodes",
+        description="Oversplitting a fixed dataset: per-task overhead vs. "
+                    "load-balance tail (§III-A two-level partitioning).",
+        run_point=skew_point,
+        grid={"splits_per_slot": (1, 2, 4, 8)},
+        x="splits_per_slot",
+        curves=("Java Mapper", "Cell BE Mapper"),
+        defaults={"nodes": 8, "data_gb": 16.0},
+        xlabel="Splits per slot",
+    )),
+)

@@ -10,8 +10,8 @@ FileSize/NumMappers and a record size of 64MB" (§IV-A).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Optional
 
 from repro.perf.calibration import Backend
 
@@ -91,3 +91,18 @@ class JobConf:
     def is_data_driven(self) -> bool:
         """True when mappers consume HDFS input (AES/sort/empty)."""
         return self.workload != "pi"
+
+    def evolve(self, **changes) -> "JobConf":
+        """Return a copy with the given fields replaced (re-validated)."""
+        return replace(self, **changes)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe description of the job (sweep manifests, traces)."""
+        d = asdict(self)
+        d["backend"] = self.backend.value
+        if self.fallback_backend is not None:
+            d["fallback_backend"] = self.fallback_backend.value
+        if self.aes_key is not None:
+            d["aes_key"] = self.aes_key.hex()
+        d["aes_nonce"] = self.aes_nonce.hex()
+        return d

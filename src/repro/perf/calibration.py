@@ -14,7 +14,7 @@ Unit conventions: bytes, seconds, samples. ``MB`` is 2**20 bytes.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 
 __all__ = ["Backend", "CalibrationProfile", "PAPER_CALIBRATION", "MB", "GB", "KB"]
 
@@ -377,6 +377,22 @@ class CalibrationProfile:
     def evolve(self, **changes) -> "CalibrationProfile":
         """Return a copy with the given fields replaced."""
         return replace(self, **changes)
+
+    def to_dict(self) -> dict:
+        """JSON-safe dump of every calibration field (sweep manifests).
+
+        Enum-keyed tables are flattened to their string values so the
+        result round-trips through ``json.dumps`` deterministically.
+        """
+        out = {}
+        for name, value in sorted(asdict(self).items()):
+            if isinstance(value, dict):
+                value = {
+                    (k.value if isinstance(k, enum.Enum) else k): v
+                    for k, v in value.items()
+                }
+            out[name] = value
+        return out
 
 
 PAPER_CALIBRATION = CalibrationProfile()

@@ -291,20 +291,82 @@ class Container:
     def level(self) -> float:
         return self._level
 
+    def try_put(self, amount: float) -> bool:
+        """Synchronously add ``amount`` if it would be admitted immediately.
+
+        The put succeeds exactly when a fresh :meth:`put` event would
+        trigger without waiting: no queued putter precedes it (FIFO) and
+        the amount fits under ``capacity``. Returns ``False`` when the
+        caller must fall back to the event-based :meth:`put`. No event
+        object is created on either path, which collapses hot
+        reserve/consume chains (the same idea as
+        :meth:`Resource.try_claim` and the :class:`Store` fast paths).
+        """
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        if self._putters or self._level + amount > self.capacity:
+            return False
+        self._level += amount
+        if self._getters:
+            self._settle()
+        return True
+
+    def try_get(self, amount: float) -> bool:
+        """Synchronously remove ``amount`` if the level covers it now.
+
+        Succeeds exactly when a fresh :meth:`get` event would trigger
+        without waiting (no queued getter precedes it, level is
+        sufficient); returns ``False`` otherwise.
+        """
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        if self._getters or self._level < amount:
+            return False
+        self._level -= amount
+        if self._putters:
+            self._settle()
+        return True
+
     def put(self, amount: float) -> Event:
-        """Add ``amount``; triggers once it fits under ``capacity``."""
+        """Add ``amount``; triggers once it fits under ``capacity``.
+
+        Like :meth:`Store.put`, an immediately-satisfiable put (no queued
+        putter to preserve FIFO against, amount fits) completes
+        synchronously with a born-processed event, so a yielding process
+        resumes without a heap round trip.
+        """
         if amount < 0:
             raise ValueError("amount must be non-negative")
         evt = Event(self.env)
+        if not self._putters and self._level + amount <= self.capacity:
+            self._level += amount
+            evt._value = amount
+            evt._triggered = True
+            evt._processed = True
+            if self._getters:
+                self._settle()
+            return evt
         self._putters.append((amount, evt))
         self._settle()
         return evt
 
     def get(self, amount: float) -> Event:
-        """Remove ``amount``; triggers once the level can cover it."""
+        """Remove ``amount``; triggers once the level can cover it.
+
+        Immediately-satisfiable gets take the same synchronous fast path
+        as :meth:`put` (see :meth:`Store.get` for the FIFO argument).
+        """
         if amount < 0:
             raise ValueError("amount must be non-negative")
         evt = Event(self.env)
+        if not self._getters and self._level >= amount:
+            self._level -= amount
+            evt._value = amount
+            evt._triggered = True
+            evt._processed = True
+            if self._putters:
+                self._settle()
+            return evt
         self._getters.append((amount, evt))
         self._settle()
         return evt

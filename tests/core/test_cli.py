@@ -72,7 +72,127 @@ def test_single_pi_job():
 
 
 def test_backend_aliases_cover_all():
-    assert set(BACKENDS) >= {"java", "cell", "empty", "cell-mr", "java-power6"}
+    assert set(BACKENDS) >= {"java", "cell", "empty", "cell-mr", "java-power6", "gpu"}
+
+
+def test_scenarios_command_lists_registry():
+    code, out = run_cli(["scenarios"])
+    assert code == 0
+    for name in ("fig2", "fig8", "hetero", "faults", "gpu", "skew"):
+        assert name in out
+    assert "EXPERIMENTS.md" in out
+
+
+def test_help_epilog_links_experiments_docs(capsys):
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["--help"])
+    assert "EXPERIMENTS.md" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize("argv", [
+    ["fig2", "--seed", "77"],
+    ["fig4", "--nodes", "4", "--seed", "77"],
+    ["fig5", "--nodes", "2", "--data-gb", "2", "--seed", "77"],
+    ["fig6", "--seed", "77"],
+    ["fig7", "--nodes", "2", "--samples", "1e4", "--seed", "77"],
+    ["fig8", "--nodes", "2", "--samples", "1e9", "--seed", "77"],
+])
+def test_every_fig_command_accepts_seed_and_is_deterministic(argv):
+    """--seed threads into the simulation rng on every fig command; a
+    repeated seeded run reproduces the output byte for byte."""
+    first = run_cli(argv)
+    second = run_cli(argv)
+    assert first[0] == 0
+    assert first == second
+
+
+def test_fig_command_workers_do_not_change_output():
+    serial = run_cli(["fig8", "--nodes", "2", "4", "--samples", "1e9"])
+    parallel = run_cli(["fig8", "--nodes", "2", "4", "--samples", "1e9",
+                        "--workers", "2"])
+    assert serial[0] == 0
+    assert serial == parallel
+
+
+def test_sweep_command_runs_and_saves(tmp_path):
+    code, out = run_cli([
+        "sweep", "fig8", "--grid", "nodes=2,4", "--grid", "samples=1e9",
+        "--out", str(tmp_path),
+    ])
+    assert code == 0
+    assert "Fig. 8" in out and "sha256" in out
+    assert (tmp_path / "fig8.json").exists()
+    assert (tmp_path / "fig8.csv").exists()
+    assert (tmp_path / "fig8.meta.json").exists()
+
+
+def test_sweep_command_no_save(tmp_path):
+    code, out = run_cli([
+        "sweep", "fig8", "--grid", "nodes=2", "--grid", "samples=1e9",
+        "--no-save", "--out", str(tmp_path),
+    ])
+    assert code == 0
+    assert not list(tmp_path.iterdir())
+
+
+def test_sweep_seeded_runs_are_identical():
+    argv = ["sweep", "gpu", "--grid", "nodes=2", "--grid", "samples=1e9",
+            "--seed", "55", "--no-save"]
+
+    def run(a):
+        code, out = run_cli(a)
+        # The footer carries wall-clock time; everything else (tables,
+        # chart, summary, sha256 prefix) must reproduce byte for byte.
+        lines = [ln for ln in out.splitlines() if not ln.startswith("sweep gpu:")]
+        sha = next(ln.split("sha256 ")[1] for ln in out.splitlines()
+                   if "sha256" in ln)
+        return code, lines, sha
+
+    assert run(argv) == run(argv)
+
+
+def test_sweep_rejects_unknown_scenario():
+    code, out = run_cli(["sweep", "nope", "--no-save"])
+    assert code == 2
+    assert "unknown scenario" in out and "fig8" in out
+
+
+def test_sweep_rejects_unknown_grid_key():
+    code, out = run_cli(["sweep", "fig8", "--grid", "nodez=2", "--no-save"])
+    assert code == 2
+    assert "unknown parameter" in out
+
+
+def test_sweep_rejects_malformed_grid():
+    code, out = run_cli(["sweep", "fig8", "--grid", "nodes", "--no-save"])
+    assert code == 2
+    assert "malformed" in out
+
+
+def test_sweep_rejects_uncastable_grid_value():
+    code, out = run_cli(["sweep", "fig8", "--grid", "nodes=2.5", "--no-save"])
+    assert code == 2
+    assert "cannot parse" in out and "nodes" in out
+
+
+def test_workers_must_be_positive():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["fig8", "--workers", "0"])
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["sweep", "fig8", "--workers", "-1"])
+
+
+def test_gpu_backend_alias_runs_gpu_cluster():
+    """The gpu alias must provision GPU-equipped nodes, not fail every
+    attempt on a Cell-only cluster."""
+    code, out = run_cli(["pi", "--nodes", "2", "--samples", "1e8",
+                         "--backend", "gpu"])
+    assert code == 0
+    assert "succeeded" in out
+    code, out = run_cli(["encrypt", "--nodes", "2", "--data-gb", "1",
+                         "--backend", "gpu"])
+    assert code == 0
+    assert "succeeded" in out
 
 
 def test_parser_rejects_unknown_command():

@@ -1,0 +1,26 @@
+"""Shared fixtures for the experiments tests.
+
+Registers the synthetic driver-test scenario once per session;
+``replace=True`` keeps re-imports (xdist, repeated collection) benign.
+The point function is module-level so worker processes can resolve it
+by reference under the fork start method.
+"""
+
+from repro.experiments import Scenario, register
+
+
+def synthetic_point(cfg):
+    # Pure arithmetic: exercises the fan-out machinery without simulation.
+    return {"y": cfg["k"] * cfg["scale"] + cfg["seed"] / 7.0}
+
+
+SYNTH = register(Scenario(
+    name="_test_synth",
+    title="synthetic",
+    description="driver test scenario",
+    run_point=synthetic_point,
+    grid={"k": tuple(range(9))},
+    x="k",
+    curves=("y",),
+    defaults={"scale": 3.0},
+), replace=True)

@@ -1,0 +1,85 @@
+"""Driver tests: deterministic aggregation, worker invariance, and the
+registry path matching a hand-rolled serial reproduction."""
+
+import json
+
+import pytest
+
+from repro.core import run_pi_job
+from repro.experiments import Scenario, run_sweep
+from repro.perf import Backend
+
+#: Small enough to keep tier-1 fast; big enough to cross worker chunks.
+FIG8_SMALL = {"nodes": [2, 4], "samples": 1e9}
+
+
+def test_serial_and_parallel_sweeps_are_byte_identical():
+    serial = run_sweep("_test_synth", workers=1)
+    for workers in (2, 4):
+        par = run_sweep("_test_synth", workers=workers)
+        assert par.canonical_json() == serial.canonical_json()
+        assert par.sha256() == serial.sha256()
+
+
+def test_parallel_fig8_matches_hand_rolled_serial_loop():
+    """The registry's fig8 must reproduce the pre-registry serial code
+    path exactly: direct run_pi_job calls in a plain loop."""
+    result = run_sweep("fig8", FIG8_SMALL, workers=2)
+    expected = {}
+    for label, mult, backend in (
+        ("Java Mapper", 1, Backend.JAVA_PPE),
+        ("Cell BE Mapper", 1, Backend.CELL_SPE_DIRECT),
+        ("Cell BE Mapper (10x)", 10, Backend.CELL_SPE_DIRECT),
+    ):
+        expected[label] = [
+            run_pi_job(n, 1e9 * mult, backend, seed=1234).makespan_s
+            for n in (2, 4)
+        ]
+    for s in result.series:
+        assert s.ys == expected[s.label], s.label
+    # Bit-for-bit, not approximately: serialize both through JSON.
+    assert json.dumps([s.ys for s in result.series]) == json.dumps(
+        [expected[s.label] for s in result.series]
+    )
+
+
+def test_seed_override_threads_into_every_point():
+    r = run_sweep("_test_synth", seed=70)
+    assert r.seed == 70
+    assert r.series[0].ys[0] == 0 * 3.0 + 10.0
+
+
+def test_progress_callback_reports_every_point():
+    seen = []
+    run_sweep("_test_synth", workers=2, progress=lambda d, t: seen.append((d, t)))
+    assert seen[-1] == (9, 9)
+    assert [d for d, _ in seen] == list(range(1, 10))
+
+
+def test_workers_validation():
+    with pytest.raises(ValueError):
+        run_sweep("_test_synth", workers=0)
+
+
+def test_points_recorded_in_canonical_grid_order():
+    r = run_sweep("_test_synth", {"k": [3, 1, 2]}, workers=4)
+    assert [p["params"]["k"] for p in r.points] == [3, 1, 2]
+    assert r.series[0].xs == [3.0, 1.0, 2.0]
+    assert all("seed" not in p["params"] for p in r.points)
+
+
+def test_unregistered_scenario_instance_runs_serially():
+    from repro.experiments import get_scenario
+
+    sc = Scenario(
+        name="_unregistered",
+        title="t",
+        description="d",
+        run_point=get_scenario("_test_synth").run_point,
+        grid={"k": (1, 2)},
+        x="k",
+        curves=("y",),
+        defaults={"scale": 1.0},
+    )
+    r = run_sweep(sc, workers=1)
+    assert r.series[0].ys == [1 + 1234 / 7.0, 2 + 1234 / 7.0]

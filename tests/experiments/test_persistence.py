@@ -1,0 +1,38 @@
+"""Persistence tests: JSON/CSV writing and worker-count invariance of
+the on-disk bytes."""
+
+import json
+
+from repro.experiments import run_sweep, save_sweep, sweep_csv
+
+
+def test_save_sweep_writes_json_csv_meta(tmp_path):
+    result = run_sweep("_test_synth", workers=1)
+    paths = save_sweep(result, tmp_path)
+    assert sorted(p.name for p in tmp_path.iterdir()) == [
+        "_test_synth.csv", "_test_synth.json", "_test_synth.meta.json",
+    ]
+    data = json.loads(paths["json"].read_text())
+    assert data["scenario"] == "_test_synth"
+    assert data == result.canonical_dict()
+    meta = json.loads(paths["meta"].read_text())
+    assert meta["sha256"] == result.sha256()
+    assert meta["workers"] == 1
+    assert meta["calibration"]["hdfs_block_bytes"] == 64 * 1024 * 1024
+
+
+def test_saved_json_and_csv_identical_across_worker_counts(tmp_path):
+    a = save_sweep(run_sweep("_test_synth", workers=1), tmp_path / "w1")
+    b = save_sweep(run_sweep("_test_synth", workers=4), tmp_path / "w4")
+    assert a["json"].read_bytes() == b["json"].read_bytes()
+    assert a["csv"].read_bytes() == b["csv"].read_bytes()
+
+
+def test_csv_round_trips_exact_floats():
+    result = run_sweep("_test_synth", workers=1)
+    lines = sweep_csv(result).strip().splitlines()
+    assert lines[0] == "k,y"
+    for line, x, y in zip(lines[1:], result.series[0].xs, result.series[0].ys):
+        cx, cy = line.split(",")
+        assert float(cx) == x
+        assert float(cy) == y  # repr round-trip: exact, not approximate

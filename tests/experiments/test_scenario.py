@@ -1,0 +1,165 @@
+"""Unit tests for the declarative scenario layer (grid, overrides,
+canonical point order, deterministic assembly)."""
+
+import pytest
+
+from repro.experiments import (
+    GridError,
+    Scenario,
+    get_scenario,
+    parse_grid_overrides,
+    scenario_names,
+)
+
+
+def _toy_point(cfg):
+    return {"a": cfg["k"] * 10.0 + cfg["seed"] * 0, "b": cfg["k"] + cfg["off"]}
+
+
+def _toy(**kw):
+    base = dict(
+        name="toy",
+        title="Toy: off={off}",
+        description="test scenario",
+        run_point=_toy_point,
+        grid={"k": (1, 2, 3)},
+        x="k",
+        curves=("a", "b"),
+        defaults={"off": 100.0},
+    )
+    base.update(kw)
+    return Scenario(**base)
+
+
+# -- registry ----------------------------------------------------------------
+
+
+def test_builtin_registry_covers_every_figure():
+    names = scenario_names()
+    for fig in ("fig2", "fig4", "fig5", "fig6", "fig7", "fig8"):
+        assert fig in names
+    for extension in ("hetero", "faults", "gpu", "skew"):
+        assert extension in names
+
+
+def test_unknown_scenario_names_known_ones():
+    with pytest.raises(KeyError, match="fig8"):
+        get_scenario("nope")
+
+
+def test_figure_scenarios_declare_paper_grids():
+    assert get_scenario("fig8").grid["nodes"] == (4, 8, 16, 32, 64)
+    assert get_scenario("fig5").defaults["data_gb"] == 120.0
+    assert get_scenario("fig7").defaults["nodes"] == 50
+
+
+# -- validation --------------------------------------------------------------
+
+
+def test_scenario_rejects_empty_grid():
+    with pytest.raises(GridError):
+        _toy(grid={})
+
+
+def test_scenario_rejects_x_not_in_grid():
+    with pytest.raises(GridError):
+        _toy(x="off")
+
+
+def test_scenario_rejects_reserved_seed_param():
+    with pytest.raises(GridError):
+        _toy(defaults={"seed": 1})
+
+
+def test_scenario_rejects_param_in_grid_and_defaults():
+    with pytest.raises(GridError):
+        _toy(defaults={"k": 5})
+
+
+# -- overrides ---------------------------------------------------------------
+
+
+def test_override_grid_values_cast_to_existing_type():
+    sc = _toy().with_overrides({"k": ["5", "7"]})
+    assert sc.grid["k"] == (5, 7)
+    assert all(isinstance(v, int) for v in sc.grid["k"])
+
+
+def test_override_default_scalar():
+    sc = _toy().with_overrides({"off": "3"})
+    assert sc.defaults["off"] == 3.0
+    assert sc.format_title() == "Toy: off=3.0"
+
+
+def test_override_default_rejects_value_list():
+    with pytest.raises(GridError, match="one value"):
+        _toy().with_overrides({"off": ["1", "2"]})
+
+
+def test_override_unknown_parameter_lists_known():
+    with pytest.raises(GridError, match="known: k, off"):
+        _toy().with_overrides({"nodez": [4]})
+
+
+def test_override_seed():
+    sc = _toy().with_overrides(None, seed=99)
+    assert sc.seed == 99
+    assert all(cfg["seed"] == 99 for cfg in sc.points())
+
+
+# -- points ------------------------------------------------------------------
+
+
+def test_points_are_row_major_and_fully_bound():
+    sc = _toy(grid={"k": (1, 2), "m": (10, 20)})
+    pts = sc.points()
+    assert [(p["k"], p["m"]) for p in pts] == [(1, 10), (1, 20), (2, 10), (2, 20)]
+    assert all(p["off"] == 100.0 and p["seed"] == 1234 for p in pts)
+
+
+# -- assembly ----------------------------------------------------------------
+
+
+def test_assemble_orders_curves_as_declared():
+    sc = _toy()
+    results = [{"b": i + 0.5, "a": i * 1.0} for i in range(3)]
+    series = sc.assemble(results)
+    assert [s.label for s in series] == ["a", "b"]
+    assert series[0].xs == [1.0, 2.0, 3.0]
+    assert series[0].ys == [0.0, 1.0, 2.0]
+    assert series[1].ys == [0.5, 1.5, 2.5]
+
+
+def test_assemble_multi_param_grid_splits_series_per_combo():
+    sc = _toy(grid={"k": (1, 2), "m": (10, 20)})
+    results = [{"a": 1.0, "b": 2.0}] * 4
+    series = sc.assemble(results)
+    labels = [s.label for s in series]
+    assert labels == ["a [m=10]", "a [m=20]", "b [m=10]", "b [m=20]"]
+    assert all(s.xs == [1.0, 2.0] for s in series)
+
+
+def test_assemble_rejects_wrong_result_count():
+    with pytest.raises(ValueError, match="results for"):
+        _toy().assemble([{"a": 1.0, "b": 2.0}])
+
+
+def test_assemble_rejects_missing_curve():
+    with pytest.raises(ValueError, match="missing curves"):
+        _toy().assemble([{"a": 1.0}] * 3)
+
+
+# -- --grid parsing ----------------------------------------------------------
+
+
+def test_parse_grid_overrides():
+    assert parse_grid_overrides(["nodes=4,8", "samples=1e9"]) == {
+        "nodes": ["4", "8"],
+        "samples": ["1e9"],
+    }
+
+
+@pytest.mark.parametrize("bad", ["nodes", "=4", "nodes=", "nodes=,,"])
+def test_parse_grid_overrides_rejects_malformed(bad):
+    with pytest.raises(GridError):
+        parse_grid_overrides([bad])

@@ -1,0 +1,103 @@
+"""Golden-series regression tests.
+
+Freezes the canonical sweep output of every figure scenario (reduced
+grids, fixed seed) under ``tests/golden/data/`` and asserts the current
+tree reproduces the stored bytes exactly:
+
+- in both engine modes (optimized fast loop and the pre-overhaul
+  reference loop selected by ``REPRO_SIM_REFERENCE=1``), and
+- under the parallel sweep driver at 1, 2, and 4 workers.
+
+Byte identity, not approximate equality: a single-ulp drift in any
+makespan is a contract violation (see ``docs/EXPERIMENTS.md``). To
+re-freeze after an *intentional* calibration/model change::
+
+    REPRO_UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest tests/golden -q
+
+and review the resulting diff like any other code change.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+import repro.sim.engine as engine
+from repro.experiments import run_sweep
+
+GOLDEN_DIR = Path(__file__).parent / "data"
+
+#: Reduced grids: the full paper grids belong to `-m sweep` (see
+#: tests/integration/test_sweep_e2e.py); these keep tier-1 fast while
+#: still covering every backend and both workload families.
+CASES = {
+    "fig2": {"size_mb": [1, 16, 256]},
+    "fig4": {"nodes": [4, 8], "gb_per_mapper": 0.5},
+    "fig5": {"nodes": [2, 4], "data_gb": 4},
+    "fig6": {"samples": [1e3, 1e6, 1e9]},
+    "fig7": {"nodes": 4, "samples": [1e4, 1e8]},
+    "fig8": {"nodes": [2, 4], "samples": 1e9},
+}
+
+FIGS = sorted(CASES)
+
+
+@pytest.fixture
+def reference_mode():
+    prev = engine.set_reference_mode(True)
+    try:
+        yield
+    finally:
+        engine.set_reference_mode(prev)
+
+
+def _check_against_golden(result) -> None:
+    path = GOLDEN_DIR / f"{result.scenario}.golden.json"
+    # pretty_json is also exactly what save_sweep writes: the goldens
+    # pin the same bytes users get under results/.
+    text = result.pretty_json()
+    if os.environ.get("REPRO_UPDATE_GOLDEN") == "1":
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+        return
+    assert path.exists(), (
+        f"missing golden {path.name}; generate with "
+        f"REPRO_UPDATE_GOLDEN=1 pytest tests/golden"
+    )
+    golden = path.read_text()
+    assert text == golden, (
+        f"{result.scenario}: series drifted from the frozen golden "
+        f"({path.name}). If the change is intentional, re-freeze with "
+        f"REPRO_UPDATE_GOLDEN=1 and review the diff."
+    )
+
+
+@pytest.mark.parametrize("fig", FIGS)
+def test_golden_fast_engine(fig):
+    _check_against_golden(run_sweep(fig, CASES[fig], workers=1))
+
+
+@pytest.mark.parametrize("fig", FIGS)
+def test_golden_reference_engine(fig, reference_mode):
+    """The pre-overhaul event loop must land on the same bytes."""
+    _check_against_golden(run_sweep(fig, CASES[fig], workers=1))
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_golden_fig8_parallel_driver(workers):
+    """`repro sweep fig8 --workers N` is byte-identical for N=1,2,4."""
+    _check_against_golden(run_sweep("fig8", CASES["fig8"], workers=workers))
+
+
+@pytest.mark.parametrize("workers", [2])
+def test_golden_fig8_parallel_reference_engine(workers, reference_mode):
+    """Parallel driver + reference engine: workers re-apply the parent's
+    engine mode, so even this combination pins to the same bytes."""
+    _check_against_golden(run_sweep("fig8", CASES["fig8"], workers=workers))
+
+
+def test_goldens_have_no_strays():
+    """Every stored golden corresponds to a case (catches renames)."""
+    stored = {p.name for p in GOLDEN_DIR.glob("*.golden.json")}
+    expected = {f"{fig}.golden.json" for fig in FIGS}
+    assert stored == expected

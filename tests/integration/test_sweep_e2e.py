@@ -1,0 +1,64 @@
+"""Opt-in (`-m sweep`) end-to-end exercises of the parallel sweep
+driver on full paper grids — the heavy counterpart of the reduced-grid
+golden tests. A CI job runs `pytest -m sweep` next to the default gate.
+"""
+
+import io
+
+import pytest
+
+import repro.sim.engine as engine
+from repro.cli import main as cli_main
+from repro.experiments import run_sweep, save_sweep
+
+pytestmark = pytest.mark.sweep
+
+
+def test_full_fig8_grid_worker_invariant():
+    """The acceptance sweep: the paper's full Fig-8 grid, byte-identical
+    at 1 and 4 workers, in both engine modes."""
+    overrides = {"samples": 1e10}  # full node grid, one decade lighter
+    serial = run_sweep("fig8", overrides, workers=1)
+    parallel = run_sweep("fig8", overrides, workers=4)
+    assert serial.canonical_json() == parallel.canonical_json()
+    prev = engine.set_reference_mode(True)
+    try:
+        reference = run_sweep("fig8", overrides, workers=4)
+    finally:
+        engine.set_reference_mode(prev)
+    assert reference.canonical_json() == serial.canonical_json()
+
+
+def test_extension_scenarios_full_grids_parallel(tmp_path):
+    """Every extension study runs its declared grid under the parallel
+    driver and persists valid artifacts."""
+    for name in ("hetero", "faults", "gpu", "skew"):
+        result = run_sweep(name, workers=4)
+        assert all(len(s) == len(result.points) for s in result.series)
+        paths = save_sweep(result, tmp_path)
+        assert paths["json"].exists() and paths["csv"].exists()
+        again = run_sweep(name, workers=2)
+        assert again.canonical_json() == result.canonical_json(), name
+
+
+def test_cli_sweep_full_fig7_matches_serial(tmp_path):
+    """`repro sweep fig7` end to end through the CLI, workers 4 vs 1."""
+    outputs = []
+    for workers in ("1", "4"):
+        buf = io.StringIO()
+        code = cli_main(
+            ["sweep", "fig7", "--grid", "samples=3e3,3e7,3e11",
+             "--workers", workers, "--out", str(tmp_path / f"w{workers}")],
+            out=buf,
+        )
+        assert code == 0
+        outputs.append(buf.getvalue())
+    # The sweep-footer line differs (worker count / wall time); the
+    # table, chart, summary, and sha must not.
+    def strip_footer(text):
+        return [ln for ln in text.splitlines()
+                if not ln.startswith(("sweep fig7:", "wrote "))]
+    assert strip_footer(outputs[0]) == strip_footer(outputs[1])
+    j1 = (tmp_path / "w1" / "fig7.json").read_bytes()
+    j4 = (tmp_path / "w4" / "fig7.json").read_bytes()
+    assert j1 == j4
