@@ -6,9 +6,13 @@ Run paper experiments and ad-hoc jobs without writing code::
     python -m repro fig5 --data-gb 60        # fixed-dataset sweep
     python -m repro fig8 --samples 1e11 --workers 4
     python -m repro scenarios                # list every registered sweep
+    python -m repro schedulers               # list placement policies
     python -m repro sweep gpu --grid nodes=2,4,8 --workers 4
+    python -m repro sweep fig8 --cache       # reuse cached identical runs
+    python -m repro sweep fig8 --compare results/old   # drift report
     python -m repro encrypt --nodes 16 --data-gb 32 --backend cell
     python -m repro pi --nodes 50 --samples 3e12 --backend java
+    python -m repro multijob --nodes 8 --jobs 4 --scheduler fair
     python -m repro info                     # calibration summary
 
 Every ``fig*`` command is a thin view over the scenario registry
@@ -37,8 +41,9 @@ from repro.experiments import (
 )
 from repro.perf import Backend, PAPER_CALIBRATION
 from repro.perf.calibration import GB, MB
-from repro.core import run_empty_job, run_encryption_job, run_pi_job
+from repro.core import run_empty_job, run_encryption_job, run_pi_job, run_workload_mix
 from repro.hadoop.metrics import analyze_job
+from repro.sched import resolve_scheduler, scheduler_names
 
 __all__ = ["main", "build_parser"]
 
@@ -85,6 +90,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("info", help="print the calibration profile")
     sub.add_parser("scenarios", help="list registered sweep scenarios")
+    sub.add_parser("schedulers", help="list registered placement policies")
 
     p2 = sub.add_parser("fig2", help="raw node encryption bandwidth (Fig. 2)")
     _add_sweep_common(p2)
@@ -127,6 +133,14 @@ def build_parser() -> argparse.ArgumentParser:
                     help="results directory (default: results/)")
     ps.add_argument("--no-save", action="store_true",
                     help="print only; skip writing JSON/CSV results")
+    ps.add_argument("--cache", action="store_true",
+                    help="reuse a cached result when an identical sweep "
+                         "(scenario+grid+seed+engine+calibration) already ran")
+    ps.add_argument("--cache-dir", type=Path, default=None, metavar="DIR",
+                    help="cache directory (default: <out>/.cache)")
+    ps.add_argument("--compare", type=Path, default=None, metavar="DIR",
+                    help="diff the fresh series against <DIR>/<scenario>.json "
+                         "and exit non-zero on drift")
     _add_sweep_common(ps)
 
     pe = sub.add_parser("encrypt", help="one distributed encryption job")
@@ -134,12 +148,34 @@ def build_parser() -> argparse.ArgumentParser:
     pe.add_argument("--data-gb", type=float, default=16.0)
     pe.add_argument("--backend", choices=sorted(BACKENDS), default="cell")
     pe.add_argument("--seed", type=int, default=1234)
+    pe.add_argument("--scheduler", choices=scheduler_names(), default=None,
+                    help="placement policy (default: fifo)")
 
     pp = sub.add_parser("pi", help="one distributed Pi job")
     pp.add_argument("--nodes", type=int, default=8)
     pp.add_argument("--samples", type=float, default=1e10)
     pp.add_argument("--backend", choices=sorted(BACKENDS), default="cell")
     pp.add_argument("--seed", type=int, default=1234)
+    pp.add_argument("--scheduler", choices=scheduler_names(), default=None,
+                    help="placement policy (default: fifo)")
+
+    pm = sub.add_parser(
+        "multijob",
+        help="a multi-job workload (alternating AES/Pi) under one policy",
+    )
+    pm.add_argument("--nodes", type=int, default=8)
+    pm.add_argument("--jobs", type=_positive_int, default=3,
+                    help="number of jobs in the mix")
+    pm.add_argument("--stagger", type=float, default=5.0,
+                    help="seconds between job arrivals")
+    pm.add_argument("--data-gb", type=float, default=2.0,
+                    help="input size of each AES job")
+    pm.add_argument("--samples", type=float, default=2e9,
+                    help="sample count of each Pi job")
+    pm.add_argument("--accelerated-fraction", type=float, default=1.0,
+                    help="fraction of blades with Cell sockets")
+    pm.add_argument("--scheduler", choices=scheduler_names(), default="fifo")
+    pm.add_argument("--seed", type=int, default=1234)
 
     return parser
 
@@ -191,6 +227,22 @@ def _cmd_scenarios(out) -> int:
     return 0
 
 
+def _cmd_schedulers(out) -> int:
+    rows = []
+    for name in scheduler_names():
+        policy = resolve_scheduler(name)
+        rows.append({
+            "scheduler": name,
+            "class": type(policy).__name__,
+            "description": policy.describe(),
+        })
+    print(format_table(rows), file=out)
+    print(file=out)
+    print("Select with --scheduler, JobConf(scheduler=...), or "
+          "SimulatedCluster(scheduler=...); see docs/SCHEDULING.md.", file=out)
+    return 0
+
+
 #: fig* command → scenario override builder. Each maps the command's
 #: legacy flags onto registry overrides so the CLI surface is unchanged.
 _FIG_OVERRIDES = {
@@ -218,6 +270,9 @@ def _cmd_sweep(args, out) -> int:
     # Usage errors (unknown scenario, malformed/unknown grid values) get
     # a friendly message + exit 2; failures inside a running scenario
     # propagate with their traceback.
+    from repro.experiments.cache import cached_sweep
+    from repro.experiments.compare import compare_result_to_dir
+
     try:
         overrides = parse_grid_overrides(args.grid)
         scenario = get_scenario(args.scenario).with_overrides(
@@ -227,7 +282,14 @@ def _cmd_sweep(args, out) -> int:
         msg = exc.args[0] if exc.args else str(exc)
         print(f"error: {msg}", file=out)
         return 2
-    result = run_sweep(scenario, workers=args.workers)
+    if args.cache:
+        cache_dir = args.cache_dir if args.cache_dir is not None else args.out / ".cache"
+        result, hit = cached_sweep(scenario, workers=args.workers,
+                                   cache_dir=cache_dir)
+        if hit:
+            print(f"cache hit ({cache_dir}): reusing stored series", file=out)
+    else:
+        result = run_sweep(scenario, workers=args.workers)
     _print_series(result.series, result.xlabel, result.ylabel, result.title, out)
     print(file=out)
     print(sweep_summary(result.series, x_name=result.xlabel), file=out)
@@ -238,6 +300,12 @@ def _cmd_sweep(args, out) -> int:
     if not args.no_save:
         paths = save_sweep(result, args.out)
         print(f"wrote {paths['json']} {paths['csv']} {paths['meta']}", file=out)
+    if args.compare is not None:
+        report = compare_result_to_dir(result, args.compare)
+        print(file=out)
+        print(report.format(), file=out)
+        if report.has_drift:
+            return 3
     return 0
 
 
@@ -252,11 +320,12 @@ def _cluster_mix(backend: Backend) -> dict:
 def _cmd_encrypt(args, out) -> int:
     backend = BACKENDS[args.backend]
     if backend is Backend.EMPTY:
-        result = run_empty_job(args.nodes, args.data_gb * GB, seed=args.seed)
+        result = run_empty_job(args.nodes, args.data_gb * GB, seed=args.seed,
+                               scheduler=args.scheduler)
     else:
         result = run_encryption_job(
             args.nodes, args.data_gb * GB, backend, seed=args.seed,
-            **_cluster_mix(backend),
+            scheduler=args.scheduler, **_cluster_mix(backend),
         )
     _print_job(result, out)
     return 0 if result.succeeded else 1
@@ -266,10 +335,33 @@ def _cmd_pi(args, out) -> int:
     backend = BACKENDS[args.backend]
     result = run_pi_job(
         args.nodes, args.samples, backend, seed=args.seed,
-        **_cluster_mix(backend),
+        scheduler=args.scheduler, **_cluster_mix(backend),
     )
     _print_job(result, out)
     return 0 if result.succeeded else 1
+
+
+def _cmd_multijob(args, out) -> int:
+    mix = run_workload_mix(
+        args.nodes,
+        num_jobs=args.jobs,
+        scheduler=args.scheduler,
+        stagger_s=args.stagger,
+        data_gb=args.data_gb,
+        samples=args.samples,
+        accelerated_fraction=args.accelerated_fraction,
+        seed=args.seed,
+    )
+    print(format_table([r.summary() for r in mix.results]), file=out)
+    print(file=out)
+    print(format_table([{
+        "scheduler": args.scheduler,
+        "jobs": len(mix.results),
+        "workload_makespan_s": round(mix.makespan_s, 3),
+        "mean_completion_s": round(mix.mean_completion_s, 3),
+        "remote_fraction": round(mix.remote_fraction, 4),
+    }]), file=out)
+    return 0 if mix.succeeded else 1
 
 
 def _print_job(result, out) -> None:
@@ -286,6 +378,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _cmd_info(out)
     if args.command == "scenarios":
         return _cmd_scenarios(out)
+    if args.command == "schedulers":
+        return _cmd_schedulers(out)
     if args.command in _FIG_OVERRIDES:
         return _cmd_fig(args, out)
     if args.command == "sweep":
@@ -294,6 +388,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _cmd_encrypt(args, out)
     if args.command == "pi":
         return _cmd_pi(args, out)
+    if args.command == "multijob":
+        return _cmd_multijob(args, out)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 
 

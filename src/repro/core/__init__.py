@@ -22,10 +22,12 @@ from repro.core.local import LocalExecutor
 from repro.core.raw import raw_encryption_bandwidth, raw_pi_rates
 from repro.core.simexec import (
     SimulatedCluster,
+    WorkloadMixResult,
     run_empty_job,
     run_encryption_job,
     run_pi_job,
     run_sort_job,
+    run_workload_mix,
 )
 from repro.core.twolevel import TwoLevelEncryptor
 
@@ -33,10 +35,12 @@ __all__ = [
     "LocalExecutor",
     "SimulatedCluster",
     "TwoLevelEncryptor",
+    "WorkloadMixResult",
     "raw_encryption_bandwidth",
     "raw_pi_rates",
     "run_empty_job",
     "run_encryption_job",
     "run_pi_job",
     "run_sort_job",
+    "run_workload_mix",
 ]

@@ -26,10 +26,12 @@ from repro.sim.engine import Environment
 
 __all__ = [
     "SimulatedCluster",
+    "WorkloadMixResult",
     "run_empty_job",
     "run_encryption_job",
     "run_pi_job",
     "run_sort_job",
+    "run_workload_mix",
 ]
 
 
@@ -44,6 +46,10 @@ class SimulatedCluster:
     trace: retain trace records (costly at scale).
     accelerated_fraction: fraction of workers with Cell sockets (§V
         heterogeneity ablation).
+    scheduler: task-placement policy (a :mod:`repro.sched` registry
+        name, instance, or None for the stock FIFO). When left None, the
+        first job conf that names a policy selects it (see
+        :meth:`run_job` / :meth:`run_jobs`).
     """
 
     def __init__(
@@ -56,6 +62,7 @@ class SimulatedCluster:
         gpu_fraction: float = 0.0,
         slow_nodes: Optional[dict[int, float]] = None,
         replication_manager: bool = False,
+        scheduler=None,
     ):
         self.env = Environment()
         self.calib = calib
@@ -78,7 +85,8 @@ class SimulatedCluster:
             self.namenode.register_datanode(DataNode(worker, self.cluster.network))
         self.client = HDFSClient(self.namenode)
         # Hadoop: JobTracker on the master, TaskTracker per worker.
-        self.jobtracker = JobTracker(self.cluster, self.client)
+        self.jobtracker = JobTracker(self.cluster, self.client, scheduler=scheduler)
+        self._scheduler_explicit = scheduler is not None
         self.trackers = [TaskTracker(self.jobtracker, w) for w in self.cluster.workers]
         # Straggler injection: {node_id: slowdown_factor}.
         for node_id, factor in (slow_nodes or {}).items():
@@ -141,12 +149,79 @@ class SimulatedCluster:
         self.client.ingest_file(path, size, payload=payload, placement=placement)
 
     # -- jobs --------------------------------------------------------------------
+    def _adopt_requested_scheduler(self, confs: list[JobConf]) -> None:
+        """Honor ``JobConf.scheduler`` requests when the cluster was not
+        configured with an explicit policy. All requesting confs in one
+        workload must agree — a mixed-policy batch is a usage error."""
+        requested = {c.scheduler for c in confs if c.scheduler is not None}
+        if not requested:
+            return
+        if len(requested) > 1:
+            raise ValueError(
+                f"jobs request conflicting schedulers: {sorted(requested)}"
+            )
+        (name,) = requested
+        if self._scheduler_explicit:
+            if name != self.jobtracker.scheduler.name:
+                raise ValueError(
+                    f"job requests scheduler {name!r} but the cluster runs "
+                    f"{self.jobtracker.scheduler.name!r}"
+                )
+            return
+        if self.jobtracker.scheduler.name != name:
+            self.jobtracker.set_scheduler(name)
+        self._scheduler_explicit = True
+
     def run_job(self, conf: JobConf) -> JobResult:
         """Submit ``conf`` and run the simulation to job completion."""
+        self._adopt_requested_scheduler([conf])
         self.start()
         job = self.jobtracker.submit_job(conf)
         result = self.env.run(job.completion)
         return result
+
+    def run_jobs(
+        self,
+        confs: list[JobConf],
+        arrivals: Optional[list[float]] = None,
+    ) -> list[JobResult]:
+        """Run a multi-job workload to completion of every job.
+
+        ``arrivals`` staggers submissions: job *i* is submitted at
+        simulation time ``arrivals[i]`` (seconds from now; default all
+        zero — a burst). Results come back in submission (``confs``)
+        order. This is the surface the ``fair``/``locality``/``accel``
+        policies exist for: with the stock FIFO a burst degenerates to
+        serial job execution, while fair sharing interleaves the jobs'
+        tasks across the cluster.
+        """
+        if not confs:
+            return []
+        arrivals = list(arrivals) if arrivals is not None else [0.0] * len(confs)
+        if len(arrivals) != len(confs):
+            raise ValueError(
+                f"{len(arrivals)} arrivals for {len(confs)} jobs"
+            )
+        if any(a < 0 for a in arrivals):
+            raise ValueError("arrival times must be >= 0")
+        self._adopt_requested_scheduler(confs)
+        self.start()
+        results: list[Optional[JobResult]] = [None] * len(confs)
+
+        def _driver():
+            jobs: list[tuple[int, Job]] = []
+            base = self.env.now
+            for i in sorted(range(len(confs)), key=lambda i: (arrivals[i], i)):
+                delay = base + arrivals[i] - self.env.now
+                if delay > 0:
+                    yield self.env.timeout(delay)
+                jobs.append((i, self.jobtracker.submit_job(confs[i])))
+            for i, job in jobs:
+                results[i] = yield job.completion
+
+        done = self.env.process(_driver(), name="multijob-driver")
+        self.env.run(done)
+        return list(results)  # type: ignore[arg-type]
 
     # -- reporting -----------------------------------------------------------------
     def job_energy_j(self, result: JobResult, backend: Backend) -> float:
@@ -177,6 +252,7 @@ def run_encryption_job(
     slow_nodes: Optional[dict[int, float]] = None,
     speculative: bool = False,
     fallback_backend: Optional[Backend] = None,
+    scheduler=None,
     return_cluster: bool = False,
 ):
     """One distributed AES job (Figs. 4 and 5).
@@ -195,6 +271,7 @@ def run_encryption_job(
         accelerated_fraction=accelerated_fraction,
         gpu_fraction=gpu_fraction,
         slow_nodes=slow_nodes,
+        scheduler=scheduler,
     )
     sim.ingest("/data/plaintext", int(data_bytes))
     conf = JobConf(
@@ -235,6 +312,7 @@ def run_pi_job(
     slow_nodes: Optional[dict[int, float]] = None,
     speculative: bool = False,
     fallback_backend: Optional[Backend] = None,
+    scheduler=None,
     return_cluster: bool = False,
 ):
     """One distributed Pi job (Figs. 7 and 8)."""
@@ -246,6 +324,7 @@ def run_pi_job(
         accelerated_fraction=accelerated_fraction,
         gpu_fraction=gpu_fraction,
         slow_nodes=slow_nodes,
+        scheduler=scheduler,
     )
     conf = JobConf(
         name=f"pi-{backend.value}",
@@ -259,6 +338,114 @@ def run_pi_job(
     )
     result = sim.run_job(conf)
     return (result, sim) if return_cluster else result
+
+
+@dataclass
+class WorkloadMixResult:
+    """Summary of one multi-job workload run.
+
+    ``results`` are per-job, in submission order. The two headline
+    metrics the scheduler-comparison scenarios plot:
+
+    - :attr:`makespan_s` — first submission to last finish (cluster
+      occupancy; what an operator pays for).
+    - :attr:`mean_completion_s` — average per-job submit-to-finish time
+      (what each user waits; the number fair sharing improves).
+    """
+
+    results: list[JobResult]
+
+    @property
+    def succeeded(self) -> bool:
+        return all(r.succeeded for r in self.results)
+
+    @property
+    def makespan_s(self) -> float:
+        return max(r.finish_time for r in self.results) - min(
+            r.submit_time for r in self.results
+        )
+
+    @property
+    def mean_completion_s(self) -> float:
+        return sum(r.makespan_s for r in self.results) / len(self.results)
+
+    @property
+    def remote_fraction(self) -> float:
+        """Cluster-wide fraction of map input read remotely."""
+        total = sum(r.counters.get("map_input_bytes", 0.0) for r in self.results)
+        if total <= 0:
+            return 0.0
+        remote = sum(r.counters.get("remote_input_bytes", 0.0) for r in self.results)
+        return remote / total
+
+
+def run_workload_mix(
+    nodes: int,
+    num_jobs: int = 2,
+    scheduler=None,
+    stagger_s: float = 0.0,
+    data_gb: float = 4.0,
+    samples: float = 4e9,
+    calib: CalibrationProfile = PAPER_CALIBRATION,
+    seed: int = 1234,
+    accelerated_fraction: float = 1.0,
+    trace: bool = False,
+    return_cluster: bool = False,
+):
+    """A canned multi-job workload: alternating AES and Pi jobs.
+
+    Even-indexed jobs encrypt ``data_gb`` GB (delivery-bound: placement
+    matters through HDFS block *locality*); odd-indexed jobs estimate
+    Pi from ``samples`` samples (compute-bound: placement matters
+    through *kernel affinity* — on a partially-accelerated cluster a
+    Cell-targeted Pi task that lands on a plain blade falls back to the
+    PPE Java kernel at ~1/50th the rate). Both job families target the
+    Cell kernel with Java fallback, so ``accelerated_fraction < 1``
+    makes placement quality visible in the series. Job *i* arrives at
+    ``i * stagger_s`` seconds. Every job wants every slot
+    (``num_map_tasks`` = cluster slot count), so concurrent jobs
+    genuinely contend — the regime scheduling policies differ in.
+    """
+    sim = SimulatedCluster(
+        nodes,
+        calib,
+        seed=seed,
+        trace=trace,
+        accelerated_fraction=accelerated_fraction,
+        scheduler=scheduler,
+    )
+    maps = _default_maps(nodes, calib)
+    confs: list[JobConf] = []
+    for i in range(num_jobs):
+        if i % 2 == 0:
+            path = f"/data/mix-{i}"
+            sim.ingest(path, int(data_gb * GB))
+            confs.append(
+                JobConf(
+                    name=f"mix-aes-{i}",
+                    workload="aes",
+                    backend=Backend.CELL_SPE_DIRECT,
+                    fallback_backend=Backend.JAVA_PPE,
+                    input_path=path,
+                    num_map_tasks=maps,
+                    record_bytes=calib.record_bytes,
+                )
+            )
+        else:
+            confs.append(
+                JobConf(
+                    name=f"mix-pi-{i}",
+                    workload="pi",
+                    backend=Backend.CELL_SPE_DIRECT,
+                    fallback_backend=Backend.JAVA_PPE,
+                    samples=samples,
+                    num_map_tasks=maps,
+                    num_reduce_tasks=1,
+                )
+            )
+    arrivals = [i * stagger_s for i in range(num_jobs)]
+    mix = WorkloadMixResult(results=sim.run_jobs(confs, arrivals=arrivals))
+    return (mix, sim) if return_cluster else mix
 
 
 def run_sort_job(

@@ -17,6 +17,8 @@ See ``docs/EXPERIMENTS.md`` for the determinism contract and how to add
 a scenario.
 """
 
+from repro.experiments.cache import cached_sweep, request_key
+from repro.experiments.compare import DriftReport, compare_result_to_dir
 from repro.experiments.driver import SweepResult, run_sweep
 from repro.experiments.persistence import DEFAULT_RESULTS_DIR, save_sweep, sweep_csv
 from repro.experiments.registry import (
@@ -29,13 +31,17 @@ from repro.experiments.scenario import GridError, Scenario, parse_grid_overrides
 
 __all__ = [
     "DEFAULT_RESULTS_DIR",
+    "DriftReport",
     "GridError",
     "Scenario",
     "SweepResult",
     "all_scenarios",
+    "cached_sweep",
+    "compare_result_to_dir",
     "get_scenario",
     "parse_grid_overrides",
     "register",
+    "request_key",
     "run_sweep",
     "save_sweep",
     "scenario_names",

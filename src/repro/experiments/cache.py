@@ -1,0 +1,158 @@
+"""Scenario-level result caching.
+
+A sweep is a pure function of its *request*: the scenario definition
+(grid, defaults, curves, seed), the engine mode, the calibration
+profile — and the code itself. :func:`request_key` hashes the canonical
+request description plus a best-effort code-version marker (the git
+HEAD commit, read without spawning a process), so two invocations that
+would provably compute identical series share one cache entry, while a
+grid override, another seed, the reference engine, a calibration tweak,
+or a new commit each miss by construction. The one honest gap: edits
+that are not yet committed do not change the key — after hacking on
+model code, clear the cache directory (or commit) before trusting a
+hit. Worker count is deliberately *not* part of the key: the driver's
+determinism contract makes results byte-identical at any parallelism.
+
+Entries are one JSON file each under the cache directory,
+``<scenario>-<key16>.json``, holding the request key and the full
+canonical result. A hit reconstructs the :class:`SweepResult` without
+running a single simulation; a corrupt or mismatched entry is treated
+as a miss and overwritten.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Optional, Union
+
+import repro.sim.engine as engine
+from repro.analysis.series import Series
+from repro.experiments.driver import SweepResult, run_sweep
+from repro.experiments.registry import get_scenario
+from repro.experiments.scenario import Scenario
+from repro.perf.calibration import PAPER_CALIBRATION
+
+__all__ = ["cache_path", "cached_sweep", "load_cached", "request_key", "store_cached"]
+
+_FORMAT = 1
+"""Cache schema version; bump to invalidate every stored entry."""
+
+
+def _code_version() -> Optional[str]:
+    """Best-effort marker for the simulator code the results came from:
+    the git HEAD commit of the repo containing this package, resolved by
+    plain file reads (no subprocess). None outside a git checkout —
+    then only the schema ``_FORMAT`` guards against code drift."""
+    here = Path(__file__).resolve()
+    for parent in here.parents:
+        git_dir = parent / ".git"
+        if not git_dir.is_dir():
+            continue
+        try:
+            head = (git_dir / "HEAD").read_text().strip()
+            if head.startswith("ref: "):
+                ref = git_dir / head[5:]
+                if ref.exists():
+                    return ref.read_text().strip()
+                packed = git_dir / "packed-refs"
+                if packed.exists():
+                    for line in packed.read_text().splitlines():
+                        if line.endswith(head[5:]):
+                            return line.split(" ", 1)[0]
+                return head  # unborn branch: the ref name still keys it
+            return head  # detached HEAD: already a commit hash
+        except OSError:
+            return None
+    return None
+
+
+def request_key(scenario: Scenario, reference: Optional[bool] = None) -> str:
+    """sha256 over everything that determines a sweep's bytes."""
+    if reference is None:
+        reference = engine.REFERENCE_MODE
+    request = {
+        "format": _FORMAT,
+        "code_version": _code_version(),
+        "scenario": scenario.name,
+        "grid": {k: list(v) for k, v in scenario.grid.items()},
+        "defaults": dict(scenario.defaults),
+        "seed": scenario.seed,
+        "x": scenario.x,
+        "curves": list(scenario.curves),
+        "reference_engine": bool(reference),
+        "calibration": PAPER_CALIBRATION.to_dict(),
+    }
+    blob = json.dumps(request, sort_keys=True, separators=(",", ":"), default=repr)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def cache_path(cache_dir: Path, scenario: Union[str, Scenario], key: str) -> Path:
+    """The single source of the entry naming scheme (load and store must
+    agree or every lookup silently misses)."""
+    name = scenario if isinstance(scenario, str) else scenario.name
+    return Path(cache_dir) / f"{name}-{key[:16]}.json"
+
+
+def store_cached(result: SweepResult, cache_dir: Path, key: str) -> Path:
+    """Persist one sweep result under its request key."""
+    path = cache_path(cache_dir, result.scenario, key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    entry = {"format": _FORMAT, "key": key, "result": result.canonical_dict()}
+    path.write_text(json.dumps(entry, sort_keys=True, indent=2) + "\n")
+    return path
+
+
+def load_cached(cache_dir: Path, scenario: Scenario, key: str) -> Optional[SweepResult]:
+    """Rebuild a stored result, or None on miss/corruption/key mismatch."""
+    path = cache_path(cache_dir, scenario, key)
+    if not path.exists():
+        return None
+    try:
+        entry = json.loads(path.read_text())
+        if entry.get("format") != _FORMAT or entry.get("key") != key:
+            return None
+        return _result_from_dict(entry["result"])
+    except (ValueError, KeyError, TypeError):
+        return None  # unreadable entry == miss; the rerun overwrites it
+
+
+def _result_from_dict(d: dict[str, Any]) -> SweepResult:
+    return SweepResult(
+        scenario=d["scenario"],
+        title=d["title"],
+        seed=d["seed"],
+        x=d["x"],
+        xlabel=d["xlabel"],
+        ylabel=d["ylabel"],
+        grid={k: list(v) for k, v in d["grid"].items()},
+        defaults=dict(d["defaults"]),
+        points=list(d["points"]),
+        series=[
+            Series(label=s["label"], xs=list(s["xs"]), ys=list(s["ys"]))
+            for s in d["series"]
+        ],
+        workers=0,  # nothing ran
+        elapsed_s=0.0,
+    )
+
+
+def cached_sweep(
+    scenario: Union[str, Scenario],
+    *,
+    workers: int = 1,
+    cache_dir: Path,
+    seed: Optional[int] = None,
+) -> tuple[SweepResult, bool]:
+    """``run_sweep`` behind the cache: returns ``(result, was_hit)``."""
+    sc = get_scenario(scenario) if isinstance(scenario, str) else scenario
+    if seed is not None:
+        sc = sc.with_overrides(None, seed=seed)
+    key = request_key(sc)
+    cached = load_cached(cache_dir, sc, key)
+    if cached is not None:
+        return cached, True
+    result = run_sweep(sc, workers=workers)
+    store_cached(result, cache_dir, key)
+    return result, False

@@ -1,0 +1,146 @@
+"""Sweep drift reports: diff a fresh run against stored results.
+
+``repro sweep <scenario> --compare results/old/`` reruns a scenario and
+diffs its series, point by point, against the ``<scenario>.json`` a
+previous run persisted. The report is per-curve — matched points, worst
+absolute and relative deviation with the x where it happens — plus
+structural changes (curves or grid points added/removed). Any
+difference is *drift*: the determinism contract makes byte-identity the
+expectation, so the CLI exits non-zero (3) when a report is non-clean,
+which is what makes the flag usable as a CI gate across intentional
+model changes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.driver import SweepResult
+
+__all__ = ["CurveDrift", "DriftReport", "compare_result_to_dir", "compare_series"]
+
+
+@dataclass
+class CurveDrift:
+    """Per-curve comparison summary."""
+
+    label: str
+    matched_points: int = 0
+    drifted_points: int = 0
+    max_abs_diff: float = 0.0
+    max_rel_diff: float = 0.0
+    worst_x: Optional[float] = None
+    only_in_new: bool = False
+    only_in_old: bool = False
+    xs_changed: bool = False
+
+    @property
+    def clean(self) -> bool:
+        return not (
+            self.drifted_points or self.only_in_new or self.only_in_old
+            or self.xs_changed
+        )
+
+
+@dataclass
+class DriftReport:
+    """Everything one ``--compare`` produced."""
+
+    scenario: str
+    old_path: Path
+    curves: list[CurveDrift] = field(default_factory=list)
+    missing_old: bool = False
+
+    @property
+    def has_drift(self) -> bool:
+        return self.missing_old or any(not c.clean for c in self.curves)
+
+    def format(self) -> str:
+        """The human-readable per-point diff summary."""
+        head = f"drift report: {self.scenario} vs {self.old_path}"
+        if self.missing_old:
+            return f"{head}\n  DRIFT: no stored result to compare against"
+        lines = [head]
+        for c in self.curves:
+            if c.only_in_new:
+                lines.append(f"  DRIFT {c.label!r}: curve absent from old result")
+            elif c.only_in_old:
+                lines.append(f"  DRIFT {c.label!r}: curve absent from new result")
+            elif c.xs_changed:
+                lines.append(f"  DRIFT {c.label!r}: grid points changed")
+            elif c.drifted_points:
+                lines.append(
+                    f"  DRIFT {c.label!r}: {c.drifted_points}/{c.matched_points} "
+                    f"points differ; worst at x={c.worst_x:g}: "
+                    f"|Δ|={c.max_abs_diff:.6g} ({100 * c.max_rel_diff:.4g}%)"
+                )
+            else:
+                lines.append(f"  ok    {c.label!r}: {c.matched_points} points identical")
+        verdict = "DRIFT DETECTED" if self.has_drift else "no drift"
+        lines.append(f"  => {verdict}")
+        return "\n".join(lines)
+
+
+def compare_series(
+    scenario: str,
+    new_series: list[dict],
+    old_series: list[dict],
+    old_path: Path,
+) -> DriftReport:
+    """Diff two canonical series lists (``{label, xs, ys}`` dicts)."""
+    report = DriftReport(scenario=scenario, old_path=old_path)
+    old_by_label = {s["label"]: s for s in old_series}
+    new_by_label = {s["label"]: s for s in new_series}
+    for s in new_series:
+        label = s["label"]
+        drift = CurveDrift(label=label)
+        report.curves.append(drift)
+        old = old_by_label.get(label)
+        if old is None:
+            drift.only_in_new = True
+            continue
+        if list(old["xs"]) != list(s["xs"]):
+            drift.xs_changed = True
+            continue
+        drift.matched_points = len(s["xs"])
+        for x, y_new, y_old in zip(s["xs"], s["ys"], old["ys"]):
+            if y_new == y_old:
+                continue
+            drift.drifted_points += 1
+            diff = abs(y_new - y_old)
+            rel = diff / abs(y_old) if y_old else float("inf")
+            # NaN-safe anchoring (NaN values round-trip through the
+            # JSON): the first drifted point must anchor the report or
+            # format() would render a None, and a finite deviation
+            # always displaces a NaN anchor — `>` alone would let an
+            # early NaN lock the summary and hide the real worst point.
+            cur = drift.max_abs_diff
+            if drift.worst_x is None or diff > cur or (cur != cur and diff == diff):
+                drift.max_abs_diff = diff
+                drift.max_rel_diff = rel
+                drift.worst_x = x
+    for label in old_by_label:
+        if label not in new_by_label:
+            report.curves.append(CurveDrift(label=label, only_in_old=True))
+    return report
+
+
+def compare_result_to_dir(result: "SweepResult", old_dir: Path) -> DriftReport:
+    """Diff a fresh :class:`SweepResult` against ``old_dir/<scenario>.json``
+    (the exact file ``save_sweep`` writes)."""
+    old_path = Path(old_dir) / f"{result.scenario}.json"
+    if not old_path.exists():
+        return DriftReport(
+            scenario=result.scenario, old_path=old_path, missing_old=True
+        )
+    old = json.loads(old_path.read_text())
+    new_series = [
+        {"label": s.label, "xs": s.xs, "ys": s.ys} for s in result.series
+    ]
+    return compare_series(
+        result.scenario, new_series, old.get("series", []), old_path
+    )

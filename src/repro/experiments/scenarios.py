@@ -18,12 +18,17 @@ from repro.core.raw import (
     raw_encryption_bandwidth,
     raw_pi_rates,
 )
-from repro.core.simexec import run_empty_job, run_encryption_job, run_pi_job
+from repro.core.simexec import (
+    run_empty_job,
+    run_encryption_job,
+    run_pi_job,
+    run_workload_mix,
+)
 from repro.experiments.registry import register
 from repro.experiments.scenario import Scenario
 from repro.perf.calibration import GB, Backend, PAPER_CALIBRATION
 
-__all__ = ["FIGURE_SCENARIOS", "EXTENSION_SCENARIOS"]
+__all__ = ["FIGURE_SCENARIOS", "EXTENSION_SCENARIOS", "SCHED_SCENARIOS"]
 
 _CALIB = PAPER_CALIBRATION
 
@@ -255,6 +260,116 @@ def skew_point(cfg: Mapping[str, Any]) -> dict[str, float]:
             n, data, backend, num_map_tasks=maps, seed=seed
         ).makespan_s
     return out
+
+
+# --------------------------------------------------------------------------- #
+# Scheduling-policy studies (repro.sched)                                      #
+# --------------------------------------------------------------------------- #
+
+#: Curve label → repro.sched registry name, in declared curve order.
+SCHED_POLICIES = (
+    ("FIFO", "fifo"),
+    ("Fair", "fair"),
+    ("Locality-aware", "locality"),
+    ("Accel-aware", "accel"),
+)
+
+
+def sched_compare_point(cfg: Mapping[str, Any]) -> dict[str, float]:
+    """One multi-job workload under every placement policy.
+
+    The workload mixes delivery-bound AES jobs with compute-bound
+    Cell-targeted Pi jobs on a partially-accelerated cluster — the
+    regime where placement decides completion time (the paper's core
+    sensitivity, §IV/§V). Metric: mean job completion time.
+    """
+    out = {}
+    for label, policy in SCHED_POLICIES:
+        mix = run_workload_mix(
+            cfg["nodes"],
+            num_jobs=cfg["num_jobs"],
+            scheduler=policy,
+            stagger_s=cfg["stagger_s"],
+            data_gb=cfg["data_gb"],
+            samples=cfg["samples"],
+            accelerated_fraction=cfg["accelerated_fraction"],
+            seed=cfg["seed"],
+        )
+        out[label] = mix.mean_completion_s
+    return out
+
+
+def multijob_point(cfg: Mapping[str, Any]) -> dict[str, float]:
+    """FIFO vs. fair sharing as the number of concurrent jobs grows.
+
+    A homogeneous all-Cell cluster isolates the *sharing* discipline
+    from accelerator affinity: both mean job completion time (what each
+    user waits) and workload makespan (what the operator pays) per
+    policy.
+    """
+    out = {}
+    for label, policy in (("FIFO", "fifo"), ("Fair", "fair")):
+        mix = run_workload_mix(
+            cfg["nodes"],
+            num_jobs=cfg["num_jobs"],
+            scheduler=policy,
+            stagger_s=cfg["stagger_s"],
+            data_gb=cfg["data_gb"],
+            samples=cfg["samples"],
+            seed=cfg["seed"],
+        )
+        out[f"{label} (mean completion)"] = mix.mean_completion_s
+        out[f"{label} (makespan)"] = mix.makespan_s
+    return out
+
+
+SCHED_SCENARIOS = (
+    register(Scenario(
+        name="sched_compare",
+        title="Scheduler comparison: {num_jobs} jobs, "
+              "{accelerated_fraction:.0%} accelerated",
+        description="One mixed AES+Pi workload under every placement "
+                    "policy on a partially-accelerated cluster; mean job "
+                    "completion time per policy (repro.sched).",
+        run_point=sched_compare_point,
+        grid={"nodes": (2, 4, 8, 16)},
+        x="nodes",
+        curves=tuple(label for label, _ in SCHED_POLICIES),
+        defaults={
+            "num_jobs": 3,
+            "stagger_s": 5.0,
+            "data_gb": 2.0,
+            "samples": 2e9,
+            "accelerated_fraction": 0.5,
+        },
+        xlabel="Nodes",
+        ylabel="Mean job completion (s)",
+    )),
+    register(Scenario(
+        name="multijob",
+        title="Multi-job scaling on {nodes} nodes: FIFO vs. fair",
+        description="Concurrent-job count sweep under FIFO and weighted "
+                    "fair sharing; per-user wait vs. operator makespan "
+                    "(repro.sched).",
+        run_point=multijob_point,
+        grid={"num_jobs": (1, 2, 4, 6)},
+        x="num_jobs",
+        curves=(
+            "FIFO (mean completion)",
+            "Fair (mean completion)",
+            "FIFO (makespan)",
+            "Fair (makespan)",
+        ),
+        defaults={
+            "nodes": 4,
+            "stagger_s": 5.0,
+            "data_gb": 2.0,
+            "samples": 2e9,
+        },
+        xlabel="Concurrent jobs",
+        ylabel="Time (s)",
+    )),
+)
 
 
 EXTENSION_SCENARIOS = (

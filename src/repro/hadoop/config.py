@@ -43,6 +43,13 @@ class JobConf:
     fallback_backend: kernel to use when a task lands on a node without
         the accelerator the primary backend needs (the §V heterogeneous-
         cluster scenario). None (default) makes such attempts fail.
+    scheduler: placement policy this job expects the cluster to run
+        (a :mod:`repro.sched` registry name, e.g. ``"fair"``). The
+        policy is JobTracker-level; helpers apply the first submitted
+        job's request when the cluster was not configured explicitly.
+        None (default) accepts whatever policy is active.
+    weight: fair-share weight under the ``fair`` scheduler (relative
+        slot share in a multi-job workload; ignored elsewhere).
     """
 
     name: str = "job"
@@ -57,6 +64,8 @@ class JobConf:
     speculative: bool = False
     max_attempts: int = 4
     fallback_backend: Optional[Backend] = None
+    scheduler: Optional[str] = None
+    weight: float = 1.0
     aes_key: Optional[bytes] = None
     """Functional-verification mode: when set (16 bytes) and the input
     carries real payload bytes, each mapper actually AES-128-CTR
@@ -82,6 +91,17 @@ class JobConf:
             raise ValueError("num_reduce_tasks must be >= 0")
         if self.max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
+        if self.scheduler is not None:
+            # Deferred import: repro.sched depends on hadoop.job, which
+            # imports this module.
+            from repro.sched.base import resolve_scheduler
+
+            try:
+                resolve_scheduler(self.scheduler)
+            except KeyError as exc:
+                raise ValueError(exc.args[0]) from None
+        if self.weight <= 0:
+            raise ValueError("weight must be positive")
         if self.aes_key is not None and len(self.aes_key) != 16:
             raise ValueError("aes_key must be 16 bytes (AES-128)")
         if len(self.aes_nonce) != 8:

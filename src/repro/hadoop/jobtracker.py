@@ -1,4 +1,4 @@
-"""The JobTracker: split queue, heartbeat scheduling, fault recovery.
+"""The JobTracker: split queue, heartbeat service, fault recovery.
 
 "The process which distributes work among nodes is named JobTracker ...
 If a node in the system becomes idle, the JobTracker picks a new job from
@@ -13,11 +13,22 @@ blade with the NameNode); every heartbeat and completion report costs
 node counts this serialization is the growing component of the runtime
 floor — the mechanism behind the 10x-samples curve in Fig. 8 "stop[ping]
 scaling its performance when increasing the number of TaskTrackers".
+
+Task *placement* is delegated to a pluggable policy from
+:mod:`repro.sched`: per heartbeat the active
+:class:`~repro.sched.base.Scheduler` sees a read-only
+:class:`~repro.sched.view.ClusterView` and returns the full batch of
+:class:`~repro.sched.base.TaskChoice` decisions for that exchange in
+one call; the JobTracker validates and applies them (queue removal,
+locality/speculation counters, attempt records) and replies with the
+matching wire :class:`~repro.hadoop.messages.Assignment` batch. The
+default :class:`~repro.sched.fifo.FifoScheduler` reproduces the
+pre-refactor inline logic decision for decision.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Generator, Optional
+from typing import TYPE_CHECKING, Generator, Union
 
 from repro.hadoop.config import JobConf
 from repro.hadoop.job import Job, JobState, TaskKind, TaskRecord
@@ -30,6 +41,8 @@ from repro.hadoop.messages import (
     TaskFailed,
 )
 from repro.hadoop.split import InputFormat
+from repro.sched.base import Scheduler, SchedulerError, TaskChoice, resolve_scheduler
+from repro.sched.view import ClusterView
 from repro.sim.resources import Store
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -41,9 +54,14 @@ __all__ = ["JobTracker"]
 
 
 class JobTracker:
-    """Cluster-level scheduler bound to the master blade."""
+    """Cluster-level task coordinator bound to the master blade."""
 
-    def __init__(self, cluster: "Cluster", client: "HDFSClient"):
+    def __init__(
+        self,
+        cluster: "Cluster",
+        client: "HDFSClient",
+        scheduler: Union[None, str, Scheduler, type] = None,
+    ):
         self.cluster = cluster
         self.client = client
         self.env = cluster.env
@@ -53,6 +71,7 @@ class JobTracker:
         self.inbox = Store(self.env)
         self.map_outputs: dict = {}
         self.cluster_nodes = {n.node_id: n for n in cluster.nodes}
+        self.scheduler: Scheduler = resolve_scheduler(scheduler)
 
         self._trackers: dict[int, "TaskTracker"] = {}
         self._last_seen: dict[int, float] = {}
@@ -61,9 +80,12 @@ class JobTracker:
         self._pending_reduces: dict[int, list[int]] = {}
         self._running_attempts: dict[tuple[int, TaskKind, int], list[tuple[int, int, float]]] = {}
         """(job, kind, task) → [(tracker_id, attempt, start_time)]."""
+        self._live_attempts: dict[int, int] = {}
+        """job_id → live attempt count (the fair-share load measure)."""
         self._kill_queue: dict[int, list[KillDirective]] = {}
         self._next_job_id = 0
         self._started = False
+        self._view = ClusterView(self)
 
     # -- membership -------------------------------------------------------------
     def register_tracker(self, tracker: "TaskTracker") -> None:
@@ -76,6 +98,18 @@ class JobTracker:
 
     def job_by_id(self, job_id: int) -> Job:
         return self._jobs[job_id]
+
+    # -- policy selection --------------------------------------------------------
+    def set_scheduler(self, scheduler: Union[str, Scheduler, type]) -> Scheduler:
+        """Swap the placement policy. Only valid before any job is
+        submitted — policies may carry per-job internal state, and a
+        mid-flight swap would silently drop it."""
+        if self._jobs:
+            raise RuntimeError(
+                "cannot change the scheduler after jobs have been submitted"
+            )
+        self.scheduler = resolve_scheduler(scheduler)
+        return self.scheduler
 
     # -- lifecycle ----------------------------------------------------------------
     def start(self) -> None:
@@ -147,90 +181,74 @@ class JobTracker:
 
     # -- heartbeat handling ------------------------------------------------------------
     def _handle_heartbeat(self, hb: Heartbeat) -> AssignmentReply:
+        """One exchange: the policy decides the whole batch, we apply it.
+
+        The active :class:`~repro.sched.base.Scheduler` gets exactly one
+        ``assign`` call per heartbeat and returns every launch for this
+        tracker's free slots at once — the batched-reply protocol. The
+        apply step below owns all mutation and double-checks the policy
+        against the queues (a bad choice is a policy bug, reported as
+        :class:`~repro.sched.base.SchedulerError`, never silent state
+        corruption).
+        """
         self._last_seen[hb.tracker_id] = self.env.now
         kills = tuple(self._kill_queue.pop(hb.tracker_id, ()))
-        assignments: list[Assignment] = []
-        free_maps = hb.free_map_slots
-        free_reduces = hb.free_reduce_slots
-        for job_id in sorted(self._jobs):
-            job = self._jobs[job_id]
-            if job.state is not JobState.RUNNING:
-                continue
-            while free_maps > 0:
-                assignment = self._next_map_assignment(job, hb.tracker_id)
-                if assignment is None:
-                    break
-                assignments.append(assignment)
-                free_maps -= 1
-            while free_reduces > 0:
-                assignment = self._next_reduce_assignment(job, hb.tracker_id)
-                if assignment is None:
-                    break
-                assignments.append(assignment)
-                free_reduces -= 1
-        return AssignmentReply(assignments=tuple(assignments), kills=kills)
-
-    def _next_map_assignment(self, job: Job, tracker_id: int) -> Optional[Assignment]:
-        pending = self._pending_maps.get(job.job_id, [])
-        chosen: Optional[int] = None
-        if pending:
-            # Locality first: a split whose preferred nodes include this
-            # tracker's blade; otherwise the head of the queue.
-            for task_id in pending:
-                split = job.maps[task_id].split
-                if split is not None and tracker_id in split.preferred_nodes:
-                    chosen = task_id
-                    break
-            if chosen is None:
-                chosen = pending[0]
-            pending.remove(chosen)
-            task = job.maps[chosen]
-            job.bump(
-                "data_local_maps"
-                if task.split is not None and tracker_id in task.split.preferred_nodes
-                else "other_maps"
+        choices = self.scheduler.assign(self._view, hb)
+        maps = sum(1 for c in choices if c.kind is TaskKind.MAP)
+        if maps > hb.free_map_slots or len(choices) - maps > hb.free_reduce_slots:
+            raise SchedulerError(
+                f"{self.scheduler.name}: {len(choices)} choices exceed the "
+                f"tracker's free slots ({hb.free_map_slots} map, "
+                f"{hb.free_reduce_slots} reduce)"
             )
-        elif job.conf.speculative:
-            chosen = self._pick_speculative(job, tracker_id)
-            if chosen is None:
-                return None
-        else:
-            return None
-        task = job.maps[chosen]
-        return self._issue(job, task, tracker_id)
+        assignments = tuple(
+            self._apply_choice(choice, hb.tracker_id) for choice in choices
+        )
+        return AssignmentReply(assignments=assignments, kills=kills)
 
-    def _pick_speculative(self, job: Job, tracker_id: int) -> Optional[int]:
-        """Duplicate the longest-running map that looks like a straggler."""
-        done = [t.duration for t in job.maps.values() if t.state == "done"]
-        if not done:
-            return None
-        import math
-
-        mean = sum(done) / len(done)
-        best_id, best_elapsed = None, 0.0
-        for task in job.maps.values():
-            if task.state != "running":
-                continue
-            attempts = self._running_attempts.get((job.job_id, TaskKind.MAP, task.task_id), [])
-            if len(attempts) != 1:
-                continue  # already duplicated (or lost)
-            if attempts[0][0] == tracker_id:
-                continue  # don't duplicate onto the same node
-            elapsed = self.env.now - attempts[0][2]
-            if elapsed > 1.5 * mean and elapsed > best_elapsed and not math.isnan(mean):
-                best_id, best_elapsed = task.task_id, elapsed
-        if best_id is not None:
+    def _apply_choice(self, choice: TaskChoice, tracker_id: int) -> Assignment:
+        """Validate one policy decision and turn it into a wire Assignment."""
+        job = self._jobs.get(choice.job_id)
+        if job is None or job.state is not JobState.RUNNING:
+            raise SchedulerError(
+                f"{self.scheduler.name}: chose task for non-running job "
+                f"{choice.job_id}"
+            )
+        table = job.maps if choice.kind is TaskKind.MAP else job.reduces
+        task = table.get(choice.task_id)
+        if task is None:
+            raise SchedulerError(
+                f"{self.scheduler.name}: job {job.job_id} has no "
+                f"{choice.kind.value} task {choice.task_id}"
+            )
+        if choice.speculative:
+            if choice.kind is not TaskKind.MAP or task.state != "running":
+                raise SchedulerError(
+                    f"{self.scheduler.name}: invalid speculation target "
+                    f"{choice.kind.value} task {choice.task_id} "
+                    f"(state {task.state!r})"
+                )
             job.bump("speculative_attempts")
-        return best_id
-
-    def _next_reduce_assignment(self, job: Job, tracker_id: int) -> Optional[Assignment]:
-        if not job.maps_all_done:
-            return None
-        pending = self._pending_reduces.get(job.job_id, [])
-        if not pending:
-            return None
-        task_id = pending.pop(0)
-        return self._issue(job, job.reduces[task_id], tracker_id)
+        else:
+            pending = (
+                self._pending_maps
+                if choice.kind is TaskKind.MAP
+                else self._pending_reduces
+            ).get(job.job_id, [])
+            try:
+                pending.remove(choice.task_id)
+            except ValueError:
+                raise SchedulerError(
+                    f"{self.scheduler.name}: {choice.kind.value} task "
+                    f"{choice.task_id} of job {job.job_id} is not pending"
+                ) from None
+            if choice.kind is TaskKind.MAP:
+                job.bump(
+                    "data_local_maps"
+                    if task.split is not None and tracker_id in task.split.preferred_nodes
+                    else "other_maps"
+                )
+        return self._issue(job, task, tracker_id)
 
     def _issue(self, job: Job, task: TaskRecord, tracker_id: int) -> Assignment:
         task.attempts += 1
@@ -244,6 +262,7 @@ class JobTracker:
         self._running_attempts.setdefault(key, []).append(
             (tracker_id, task.attempts, self.env.now)
         )
+        self._live_attempts[job.job_id] = self._live_attempts.get(job.job_id, 0) + 1
         if self.tracer.enabled:
             self.tracer.emit(
                 "jobtracker",
@@ -269,7 +288,9 @@ class JobTracker:
         task = job.task(msg.kind, msg.task_id)
         key = (msg.job_id, msg.kind, msg.task_id)
         attempts = self._running_attempts.get(key, [])
-        self._running_attempts[key] = [a for a in attempts if a[1] != msg.attempt]
+        remaining = [a for a in attempts if a[1] != msg.attempt]
+        self._running_attempts[key] = remaining
+        self._note_attempts_gone(msg.job_id, len(attempts) - len(remaining))
         if task.state == "done":
             return  # late duplicate
         task.state = "done"
@@ -289,10 +310,18 @@ class JobTracker:
         else:
             job.bump("reduce_shuffle_bytes", float(stats.get("shuffle_bytes", 0.0)))
         # Kill redundant attempts of this task (speculation cleanup).
-        for tracker_id, attempt, _t0 in self._running_attempts.get(key, []):
-            self._kill_queue.setdefault(tracker_id, []).append(
-                KillDirective(msg.job_id, msg.kind, msg.task_id, attempt)
-            )
+        # Killed attempts die silently (the tracker swallows the
+        # interrupt and reports nothing), so retire their bookkeeping
+        # here — otherwise the per-job load tally stays inflated and
+        # fair sharing starves speculating jobs.
+        leftovers = self._running_attempts.get(key)
+        if leftovers:
+            for tracker_id, attempt, _t0 in leftovers:
+                self._kill_queue.setdefault(tracker_id, []).append(
+                    KillDirective(msg.job_id, msg.kind, msg.task_id, attempt)
+                )
+            self._note_attempts_gone(msg.job_id, len(leftovers))
+            self._running_attempts[key] = []
         if msg.kind is TaskKind.MAP and job.maps_all_done and job.maps_done_time < 0:
             job.maps_done_time = self.env.now
             self._pending_reduces[job.job_id] = sorted(job.reduces)
@@ -306,7 +335,9 @@ class JobTracker:
         task = job.task(msg.kind, msg.task_id)
         key = (msg.job_id, msg.kind, msg.task_id)
         attempts = self._running_attempts.get(key, [])
-        self._running_attempts[key] = [a for a in attempts if a[1] != msg.attempt]
+        remaining = [a for a in attempts if a[1] != msg.attempt]
+        self._running_attempts[key] = remaining
+        self._note_attempts_gone(msg.job_id, len(attempts) - len(remaining))
         if task.state == "done":
             return
         job.bump("failed_attempts")
@@ -322,6 +353,14 @@ class JobTracker:
         ).setdefault(msg.job_id, [])
         if msg.task_id not in pending:
             pending.append(msg.task_id)
+
+    def _note_attempts_gone(self, job_id: int, count: int) -> None:
+        """Keep the per-job live-attempt tally in step with
+        ``_running_attempts`` removals."""
+        if count > 0:
+            self._live_attempts[job_id] = max(
+                0, self._live_attempts.get(job_id, 0) - count
+            )
 
     def _finish_job(self, job: Job) -> Generator:
         yield self.env.timeout(self.calib.job_cleanup_s)
@@ -352,6 +391,7 @@ class JobTracker:
             if len(remaining) == len(attempts):
                 continue
             self._running_attempts[key] = remaining
+            self._note_attempts_gone(job_id, len(attempts) - len(remaining))
             job = self._jobs.get(job_id)
             if job is None or job.state is not JobState.RUNNING:
                 continue

@@ -1,0 +1,69 @@
+"""Pluggable task-placement policies for the simulated JobTracker.
+
+The scheduling subsystem separates *decision* from *mechanism*: the
+JobTracker owns queues, attempt bookkeeping and the heartbeat wire
+protocol; a :class:`~repro.sched.base.Scheduler` is a pure decision
+layer that, per heartbeat, turns a read-only
+:class:`~repro.sched.view.ClusterView` into the batch of
+:class:`~repro.sched.base.TaskChoice` launches for that exchange.
+
+Builtin policies (``repro schedulers`` lists them):
+
+- ``fifo`` — :class:`~repro.sched.fifo.FifoScheduler`: stock Hadoop
+  0.19 submission order, extracted byte-identically from the old
+  inline JobTracker logic (the policy behind every paper figure).
+- ``fair`` — :class:`~repro.sched.fair.FairScheduler`: weighted fair
+  sharing across concurrent jobs.
+- ``locality`` — :class:`~repro.sched.locality.LocalityAwareScheduler`:
+  delay scheduling on HDFS block locality.
+- ``accel`` — :class:`~repro.sched.accel.AcceleratorAwareScheduler`:
+  kernel-affinity placement against Cell/GPU/CPU slot speeds (the
+  paper's implicit policy, made explicit).
+
+Select a policy with ``SimulatedCluster(..., scheduler="fair")``,
+``JobConf(scheduler="fair")``, the ``--scheduler`` CLI flag, or the
+``sched_compare``/``multijob`` scenarios. See ``docs/SCHEDULING.md``
+for the policy contract and how to add one.
+"""
+
+from repro.sched.accel import AcceleratorAwareScheduler
+from repro.sched.base import (
+    AssignmentBatch,
+    Scheduler,
+    SchedulerError,
+    TaskChoice,
+    register_scheduler,
+    resolve_scheduler,
+    scheduler_names,
+)
+from repro.sched.fair import FairScheduler
+from repro.sched.fifo import FifoScheduler
+from repro.sched.locality import LocalityAwareScheduler
+from repro.sched.view import (
+    AttemptView,
+    ClusterView,
+    JobView,
+    SyntheticJob,
+    SyntheticView,
+    TrackerView,
+)
+
+__all__ = [
+    "AcceleratorAwareScheduler",
+    "AssignmentBatch",
+    "AttemptView",
+    "ClusterView",
+    "FairScheduler",
+    "FifoScheduler",
+    "JobView",
+    "LocalityAwareScheduler",
+    "Scheduler",
+    "SchedulerError",
+    "SyntheticJob",
+    "SyntheticView",
+    "TaskChoice",
+    "TrackerView",
+    "register_scheduler",
+    "resolve_scheduler",
+    "scheduler_names",
+]

@@ -1,0 +1,357 @@
+"""Read-only cluster snapshots handed to scheduling policies.
+
+A :class:`ClusterView` is the *only* window a
+:class:`~repro.sched.base.Scheduler` gets onto the running cluster: jobs
+in submission order with their pending queues and live attempts, tracker
+hardware capabilities, and the calibration profile. Everything it
+exposes is plain data — ints, floats, strings, tuples, frozen dataclass
+records — never an engine object (no ``Environment``, no ``Store``, no
+``Process``), which is what keeps policies pure decision functions that
+can be unit-tested against a :class:`SyntheticView` with no simulation
+at all.
+
+Invariants (see ``docs/SCHEDULING.md``):
+
+- The view reads live JobTracker state *at heartbeat-handling time*.
+  The JobTracker is a serialized service, so the state cannot change
+  while a policy's ``assign`` runs — the view behaves as a snapshot.
+- Policies must never mutate anything reached through a view. All
+  mutation flows back through the
+  :class:`~repro.sched.base.TaskChoice` list the policy returns.
+- ``jobs()`` yields RUNNING jobs in ascending ``job_id`` (= submission)
+  order; ``pending_maps``/``pending_reduces`` preserve JobTracker queue
+  order. Both orders are part of the determinism contract.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, Optional, Sequence
+
+from repro.hadoop.job import JobState, TaskKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hadoop.jobtracker import JobTracker
+    from repro.perf.calibration import Backend, CalibrationProfile
+
+__all__ = [
+    "AttemptView",
+    "ClusterView",
+    "JobView",
+    "SyntheticJob",
+    "SyntheticView",
+    "TrackerView",
+]
+
+
+class AttemptView:
+    """One live task attempt: where it runs and since when."""
+
+    __slots__ = ("tracker_id", "attempt", "start_time")
+
+    def __init__(self, tracker_id: int, attempt: int, start_time: float):
+        self.tracker_id = tracker_id
+        self.attempt = attempt
+        self.start_time = start_time
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Attempt #{self.attempt} tracker={self.tracker_id} t0={self.start_time}>"
+
+
+class TrackerView:
+    """Hardware capabilities of one TaskTracker's blade.
+
+    ``has_cells`` / ``has_gpus`` drive accelerator-affinity placement;
+    ``speed_factor`` (> 1 means slower) exposes injected stragglers the
+    way a load monitor would see them.
+    """
+
+    __slots__ = ("tracker_id", "has_cells", "has_gpus", "speed_factor",
+                 "map_slots", "reduce_slots")
+
+    def __init__(
+        self,
+        tracker_id: int,
+        has_cells: bool = False,
+        has_gpus: bool = False,
+        speed_factor: float = 1.0,
+        map_slots: int = 2,
+        reduce_slots: int = 1,
+    ):
+        self.tracker_id = tracker_id
+        self.has_cells = has_cells
+        self.has_gpus = has_gpus
+        self.speed_factor = speed_factor
+        self.map_slots = map_slots
+        self.reduce_slots = reduce_slots
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Tracker {self.tracker_id} cells={self.has_cells} "
+            f"gpus={self.has_gpus} x{self.speed_factor:g}>"
+        )
+
+
+class JobView:
+    """Scheduling-relevant state of one RUNNING job.
+
+    Wraps the live :class:`~repro.hadoop.job.Job` plus the JobTracker's
+    queue/attempt bookkeeping. Accessors return copies or plain values;
+    the underlying record is never handed out.
+    """
+
+    __slots__ = ("_job", "_jt")
+
+    def __init__(self, job, jt: "JobTracker"):
+        self._job = job
+        self._jt = jt
+
+    # -- identity / configuration -----------------------------------------
+    @property
+    def job_id(self) -> int:
+        return self._job.job_id
+
+    @property
+    def name(self) -> str:
+        return self._job.conf.name
+
+    @property
+    def workload(self) -> str:
+        return self._job.conf.workload
+
+    @property
+    def backend(self) -> "Backend":
+        return self._job.conf.backend
+
+    @property
+    def fallback_backend(self) -> Optional["Backend"]:
+        return self._job.conf.fallback_backend
+
+    @property
+    def weight(self) -> float:
+        return self._job.conf.weight
+
+    @property
+    def speculative(self) -> bool:
+        return self._job.conf.speculative
+
+    @property
+    def submit_time(self) -> float:
+        return self._job.submit_time
+
+    # -- queues -------------------------------------------------------------
+    @property
+    def pending_maps(self) -> tuple[int, ...]:
+        """Unassigned map task ids, in JobTracker queue order."""
+        return tuple(self._jt._pending_maps.get(self._job.job_id, ()))
+
+    @property
+    def pending_reduces(self) -> tuple[int, ...]:
+        """Unassigned reduce task ids, in JobTracker queue order."""
+        return tuple(self._jt._pending_reduces.get(self._job.job_id, ()))
+
+    @property
+    def num_maps(self) -> int:
+        return len(self._job.maps)
+
+    @property
+    def num_reduces(self) -> int:
+        return len(self._job.reduces)
+
+    @property
+    def maps_all_done(self) -> bool:
+        return self._job.maps_all_done
+
+    @property
+    def running_attempt_count(self) -> int:
+        """Live attempts (maps + reduces) across the cluster — the load
+        measure fair sharing balances."""
+        return self._jt._live_attempts.get(self._job.job_id, 0)
+
+    # -- per-task detail -----------------------------------------------------
+    def preferred_nodes(self, task_id: int) -> tuple[int, ...]:
+        """HDFS block locality of one map task (compute-driven jobs have
+        no split and prefer nowhere)."""
+        split = self._job.maps[task_id].split
+        return () if split is None else split.preferred_nodes
+
+    def map_state(self, task_id: int) -> str:
+        return self._job.maps[task_id].state
+
+    def done_map_durations(self) -> list[float]:
+        """Durations of completed maps, for straggler detection."""
+        return [t.duration for t in self._job.maps.values() if t.state == "done"]
+
+    def running_map_attempts(self) -> Iterator[tuple[int, list[AttemptView]]]:
+        """``(task_id, attempts)`` for every map currently running."""
+        jid = self._job.job_id
+        for task in self._job.maps.values():
+            if task.state != "running":
+                continue
+            raw = self._jt._running_attempts.get((jid, TaskKind.MAP, task.task_id), ())
+            yield task.task_id, [AttemptView(*a) for a in raw]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<JobView {self.job_id} {self.name!r} pending={len(self.pending_maps)}>"
+
+
+class ClusterView:
+    """The live JobTracker seen through a policy-safe, read-only lens."""
+
+    def __init__(self, jt: "JobTracker"):
+        self._jt = jt
+
+    @property
+    def now(self) -> float:
+        return self._jt.env.now
+
+    @property
+    def calib(self) -> "CalibrationProfile":
+        """The (frozen) calibration profile: slot speeds per backend."""
+        return self._jt.calib
+
+    def jobs(self) -> list[JobView]:
+        """RUNNING jobs in ascending job-id (submission) order."""
+        jt = self._jt
+        return [
+            JobView(jt._jobs[jid], jt)
+            for jid in sorted(jt._jobs)
+            if jt._jobs[jid].state is JobState.RUNNING
+        ]
+
+    def tracker(self, tracker_id: int) -> TrackerView:
+        tt = self._jt._trackers.get(tracker_id)
+        if tt is None:
+            # A heartbeat can race a loss declaration (the report was
+            # queued before the timeout fired): give affinity policies a
+            # capability-less default instead of a KeyError.
+            return TrackerView(tracker_id)
+        node = tt.node
+        return TrackerView(
+            tracker_id=tracker_id,
+            has_cells=bool(node.cells),
+            has_gpus=bool(node.gpus),
+            speed_factor=node.speed_factor,
+            map_slots=tt.map_slots,
+            reduce_slots=tt.reduce_slots,
+        )
+
+    def trackers(self) -> list[TrackerView]:
+        """All live trackers, ascending tracker id."""
+        return [self.tracker(tid) for tid in sorted(self._jt._trackers)]
+
+    @property
+    def total_map_slots(self) -> int:
+        return sum(t.map_slots for t in self.trackers())
+
+    def any_tracker_with_cells(self) -> bool:
+        return any(bool(t.node.cells) for t in self._jt._trackers.values())
+
+    def any_tracker_with_gpus(self) -> bool:
+        return any(bool(t.node.gpus) for t in self._jt._trackers.values())
+
+
+class SyntheticJob:
+    """A hand-built stand-in for :class:`JobView` (policy unit tests).
+
+    Carries the same read surface as :class:`JobView` but from plain
+    constructor data, so a policy's decision function can be exercised
+    against crafted job states with no JobTracker behind it.
+    """
+
+    def __init__(
+        self,
+        job_id: int,
+        *,
+        name: str = "job",
+        workload: str = "pi",
+        backend=None,
+        fallback_backend=None,
+        weight: float = 1.0,
+        speculative: bool = False,
+        submit_time: float = 0.0,
+        pending_maps: Sequence[int] = (),
+        pending_reduces: Sequence[int] = (),
+        num_maps: Optional[int] = None,
+        num_reduces: int = 0,
+        maps_all_done: bool = False,
+        running_attempt_count: int = 0,
+        preferred: Optional[dict[int, tuple[int, ...]]] = None,
+        map_states: Optional[dict[int, str]] = None,
+        done_durations: Sequence[float] = (),
+        running_attempts: Optional[dict[int, list[AttemptView]]] = None,
+    ):
+        from repro.perf.calibration import Backend
+
+        self.job_id = job_id
+        self.name = name
+        self.workload = workload
+        self.backend = backend if backend is not None else Backend.JAVA_PPE
+        self.fallback_backend = fallback_backend
+        self.weight = weight
+        self.speculative = speculative
+        self.submit_time = submit_time
+        self.pending_maps = tuple(pending_maps)
+        self.pending_reduces = tuple(pending_reduces)
+        self.num_maps = num_maps if num_maps is not None else len(self.pending_maps)
+        self.num_reduces = num_reduces
+        self.maps_all_done = maps_all_done
+        self.running_attempt_count = running_attempt_count
+        self._preferred = dict(preferred or {})
+        self._map_states = dict(map_states or {})
+        self._done_durations = list(done_durations)
+        self._running_attempts = dict(running_attempts or {})
+
+    def preferred_nodes(self, task_id: int) -> tuple[int, ...]:
+        return self._preferred.get(task_id, ())
+
+    def map_state(self, task_id: int) -> str:
+        return self._map_states.get(task_id, "pending")
+
+    def done_map_durations(self) -> list[float]:
+        return list(self._done_durations)
+
+    def running_map_attempts(self) -> Iterator[tuple[int, list[AttemptView]]]:
+        for task_id in sorted(self._running_attempts):
+            yield task_id, list(self._running_attempts[task_id])
+
+
+class SyntheticView:
+    """A hand-built stand-in for :class:`ClusterView` (policy unit tests).
+
+    Constructed from plain data — no JobTracker, no engine. Exposes the
+    same surface policies consume, so a policy's decision function can
+    be exercised against crafted cluster states directly.
+    """
+
+    def __init__(
+        self,
+        jobs: Sequence["SyntheticJob"],
+        trackers: Sequence[TrackerView],
+        now: float = 0.0,
+        calib=None,
+    ):
+        from repro.perf.calibration import PAPER_CALIBRATION
+
+        self._jobs = list(jobs)
+        self._trackers = {t.tracker_id: t for t in trackers}
+        self.now = now
+        self.calib = calib if calib is not None else PAPER_CALIBRATION
+
+    def jobs(self) -> list[JobView]:
+        return list(self._jobs)
+
+    def tracker(self, tracker_id: int) -> TrackerView:
+        return self._trackers[tracker_id]
+
+    def trackers(self) -> list[TrackerView]:
+        return [self._trackers[tid] for tid in sorted(self._trackers)]
+
+    @property
+    def total_map_slots(self) -> int:
+        return sum(t.map_slots for t in self.trackers())
+
+    def any_tracker_with_cells(self) -> bool:
+        return any(t.has_cells for t in self.trackers())
+
+    def any_tracker_with_gpus(self) -> bool:
+        return any(t.has_gpus for t in self.trackers())

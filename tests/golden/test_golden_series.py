@@ -29,7 +29,9 @@ GOLDEN_DIR = Path(__file__).parent / "data"
 
 #: Reduced grids: the full paper grids belong to `-m sweep` (see
 #: tests/integration/test_sweep_e2e.py); these keep tier-1 fast while
-#: still covering every backend and both workload families.
+#: still covering every backend, both workload families, and — through
+#: the scheduling scenarios — every placement policy under multi-job
+#: contention.
 CASES = {
     "fig2": {"size_mb": [1, 16, 256]},
     "fig4": {"nodes": [4, 8], "gb_per_mapper": 0.5},
@@ -37,6 +39,8 @@ CASES = {
     "fig6": {"samples": [1e3, 1e6, 1e9]},
     "fig7": {"nodes": 4, "samples": [1e4, 1e8]},
     "fig8": {"nodes": [2, 4], "samples": 1e9},
+    "multijob": {"num_jobs": [2, 4], "nodes": 2},
+    "sched_compare": {"nodes": [2, 4]},
 }
 
 FIGS = sorted(CASES)

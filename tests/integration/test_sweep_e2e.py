@@ -30,9 +30,10 @@ def test_full_fig8_grid_worker_invariant():
 
 
 def test_extension_scenarios_full_grids_parallel(tmp_path):
-    """Every extension study runs its declared grid under the parallel
-    driver and persists valid artifacts."""
-    for name in ("hetero", "faults", "gpu", "skew"):
+    """Every extension study — including the scheduler-comparison
+    scenarios — runs its declared grid under the parallel driver and
+    persists valid artifacts."""
+    for name in ("hetero", "faults", "gpu", "skew", "sched_compare", "multijob"):
         result = run_sweep(name, workers=4)
         assert all(len(s) == len(result.points) for s in result.series)
         paths = save_sweep(result, tmp_path)

@@ -1,0 +1,282 @@
+"""Pure policy unit tests: decision functions against synthetic views.
+
+No simulation engine anywhere — this is the payoff of the ClusterView
+contract: every policy is exercised on hand-crafted cluster states.
+"""
+
+import pytest
+
+from repro.hadoop.job import TaskKind
+from repro.hadoop.messages import Heartbeat
+from repro.perf.calibration import PAPER_CALIBRATION, Backend
+from repro.sched import (
+    AcceleratorAwareScheduler,
+    AttemptView,
+    FairScheduler,
+    FifoScheduler,
+    LocalityAwareScheduler,
+    Scheduler,
+    SyntheticJob,
+    SyntheticView,
+    TrackerView,
+    resolve_scheduler,
+    scheduler_names,
+)
+from repro.sched.accel import effective_backend, slot_rate
+
+
+def hb(tracker_id=1, maps=2, reduces=1):
+    return Heartbeat(tracker_id=tracker_id, free_map_slots=maps,
+                     free_reduce_slots=reduces)
+
+
+def view(jobs, trackers=None, now=0.0):
+    if trackers is None:
+        trackers = [TrackerView(1), TrackerView(2)]
+    return SyntheticView(jobs, trackers, now=now)
+
+
+# -- registry ----------------------------------------------------------------
+
+def test_registry_names_and_resolution():
+    assert scheduler_names() == ["accel", "fair", "fifo", "locality"]
+    assert isinstance(resolve_scheduler(None), FifoScheduler)
+    assert isinstance(resolve_scheduler("fair"), FairScheduler)
+    assert isinstance(resolve_scheduler(LocalityAwareScheduler), LocalityAwareScheduler)
+    inst = AcceleratorAwareScheduler(patience=3)
+    assert resolve_scheduler(inst) is inst
+    with pytest.raises(KeyError, match="unknown scheduler"):
+        resolve_scheduler("nope")
+    with pytest.raises(TypeError):
+        resolve_scheduler(42)
+
+
+def test_every_builtin_has_a_description():
+    for name in scheduler_names():
+        policy = resolve_scheduler(name)
+        assert isinstance(policy, Scheduler)
+        assert policy.describe()
+
+
+# -- FIFO --------------------------------------------------------------------
+
+def test_fifo_serves_jobs_in_submission_order():
+    jobs = [
+        SyntheticJob(0, pending_maps=[0, 1, 2]),
+        SyntheticJob(1, pending_maps=[0, 1]),
+    ]
+    choices = FifoScheduler().assign(view(jobs), hb(maps=4))
+    assert [(c.job_id, c.task_id) for c in choices] == [
+        (0, 0), (0, 1), (0, 2), (1, 0),
+    ]
+    assert all(c.kind is TaskKind.MAP and not c.speculative for c in choices)
+
+
+def test_fifo_prefers_local_splits_then_queue_head():
+    job = SyntheticJob(0, workload="aes", pending_maps=[0, 1, 2],
+                       preferred={0: (9,), 1: (1,), 2: (1,)})
+    choices = FifoScheduler().assign(view([job]), hb(tracker_id=1, maps=3))
+    # Local tasks 1 then 2 first, remote head 0 last.
+    assert [c.task_id for c in choices] == [1, 2, 0]
+
+
+def test_fifo_never_picks_one_task_twice_in_a_batch():
+    job = SyntheticJob(0, pending_maps=[0])
+    choices = FifoScheduler().assign(view([job]), hb(maps=4))
+    assert [c.task_id for c in choices] == [0]
+
+
+def test_fifo_reduces_gated_on_map_phase():
+    before = SyntheticJob(0, pending_reduces=[0], num_reduces=1)
+    assert FifoScheduler().assign(view([before]), hb()) == []
+    after = SyntheticJob(0, pending_reduces=[0], num_reduces=1,
+                         maps_all_done=True)
+    (choice,) = FifoScheduler().assign(view([after]), hb())
+    assert choice.kind is TaskKind.REDUCE and choice.task_id == 0
+
+
+def test_fifo_speculation_criteria():
+    # Task 5 has run 3x the mean of finished maps on another tracker.
+    job = SyntheticJob(
+        0, speculative=True, num_maps=6,
+        done_durations=[10.0, 10.0],
+        map_states={5: "running"},
+        running_attempts={5: [AttemptView(2, 1, 0.0)]},
+    )
+    (choice,) = FifoScheduler().assign(view([job], now=30.0), hb(tracker_id=1, maps=1))
+    assert choice.speculative and choice.task_id == 5
+    # ... but never onto the node already running it,
+    assert FifoScheduler().assign(view([job], now=30.0), hb(tracker_id=2, maps=1)) == []
+    # and never before the 1.5x-mean threshold.
+    assert FifoScheduler().assign(view([job], now=12.0), hb(tracker_id=1, maps=1)) == []
+    # A second free slot must not duplicate the same straggler twice.
+    choices = FifoScheduler().assign(view([job], now=30.0), hb(tracker_id=1, maps=2))
+    assert [c.task_id for c in choices] == [5]
+
+
+# -- fair --------------------------------------------------------------------
+
+def test_fair_interleaves_equal_weight_jobs():
+    jobs = [
+        SyntheticJob(0, pending_maps=[0, 1, 2, 3]),
+        SyntheticJob(1, pending_maps=[0, 1, 2, 3]),
+    ]
+    choices = FairScheduler().assign(view(jobs), hb(maps=4))
+    assert [(c.job_id, c.task_id) for c in choices] == [
+        (0, 0), (1, 0), (0, 1), (1, 1),
+    ]
+
+
+def test_fair_respects_weights():
+    jobs = [
+        SyntheticJob(0, weight=3.0, pending_maps=list(range(8))),
+        SyntheticJob(1, weight=1.0, pending_maps=list(range(8))),
+    ]
+    choices = FairScheduler().assign(view(jobs), hb(maps=4))
+    by_job = [c.job_id for c in choices]
+    # 3:1 weights over 4 slots → 3 for job 0, 1 for job 1.
+    assert by_job.count(0) == 3 and by_job.count(1) == 1
+
+
+def test_fair_counts_preexisting_load():
+    jobs = [
+        SyntheticJob(0, pending_maps=[10, 11], running_attempt_count=4),
+        SyntheticJob(1, pending_maps=[20, 21], running_attempt_count=0),
+    ]
+    choices = FairScheduler().assign(view(jobs), hb(maps=2))
+    # Job 1 is far below its share: both slots go to it.
+    assert [c.job_id for c in choices] == [1, 1]
+
+
+# -- locality ----------------------------------------------------------------
+
+def test_locality_waits_for_local_slot_then_gives_up():
+    policy = LocalityAwareScheduler(max_skips=2)
+    job = SyntheticJob(0, workload="aes", pending_maps=[0],
+                       preferred={0: (9,)})
+    v = view([job])
+    # Two declines within the delay bound...
+    assert policy.assign(v, hb(tracker_id=1)) == []
+    assert policy.assign(v, hb(tracker_id=1)) == []
+    # ...then the stock remote pick.
+    (choice,) = policy.assign(v, hb(tracker_id=1))
+    assert choice.task_id == 0
+
+
+def test_locality_assigns_local_and_unconstrained_immediately():
+    policy = LocalityAwareScheduler(max_skips=5)
+    local = SyntheticJob(0, workload="aes", pending_maps=[0], preferred={0: (1,)})
+    (c,) = policy.assign(view([local]), hb(tracker_id=1, maps=1))
+    assert c.task_id == 0
+    # Compute-driven tasks (no splits) are local everywhere.
+    pi = SyntheticJob(1, workload="pi", pending_maps=[0])
+    (c,) = policy.assign(view([pi]), hb(tracker_id=2, maps=1))
+    assert (c.job_id, c.task_id) == (1, 0)
+
+
+def test_locality_exhausted_delay_stays_exhausted():
+    """A forced remote launch must not re-arm the full delay: an
+    all-remote job falls back to stock picking, not a one-task-per-delay
+    trickle."""
+    policy = LocalityAwareScheduler(max_skips=2)
+    job = SyntheticJob(0, workload="aes", pending_maps=[0, 1, 2],
+                       preferred={0: (9,), 1: (9,), 2: (9,)})
+    v = view([job])
+    assert policy.assign(v, hb(tracker_id=1, maps=1)) == []
+    assert policy.assign(v, hb(tracker_id=1, maps=1)) == []
+    # Delay burned: this and every following remote offer launches.
+    for _ in range(3):
+        assert len(policy.assign(v, hb(tracker_id=1, maps=1))) == 1
+    # A local launch re-arms it.
+    local_job = SyntheticJob(0, workload="aes", pending_maps=[0, 1],
+                             preferred={0: (1,), 1: (9,)})
+    (c,) = policy.assign(view([local_job]), hb(tracker_id=1, maps=1))
+    assert c.task_id == 0
+    remote_again = SyntheticJob(0, workload="aes", pending_maps=[1],
+                                preferred={1: (9,)})
+    assert policy.assign(view([remote_again]), hb(tracker_id=1, maps=1)) == []
+
+
+def test_locality_skip_counts_per_heartbeat_not_per_slot():
+    policy = LocalityAwareScheduler(max_skips=2)
+    job = SyntheticJob(0, workload="aes", pending_maps=[0], preferred={0: (9,)})
+    v = view([job])
+    # One heartbeat with many free slots burns one skip, not four.
+    assert policy.assign(v, hb(tracker_id=1, maps=4)) == []
+    assert policy._skips[0] == 1
+
+
+# -- accelerator affinity ----------------------------------------------------
+
+CAL = PAPER_CALIBRATION
+
+
+def cell_pi_job(job_id=0, **kw):
+    return SyntheticJob(job_id, workload="pi", backend=Backend.CELL_SPE_DIRECT,
+                        fallback_backend=Backend.JAVA_PPE, **kw)
+
+
+def test_effective_backend_and_slot_rate():
+    plain = TrackerView(1, has_cells=False)
+    cell = TrackerView(2, has_cells=True)
+    job = cell_pi_job(pending_maps=[0])
+    assert effective_backend(job, cell) is Backend.CELL_SPE_DIRECT
+    assert effective_backend(job, plain) is Backend.JAVA_PPE
+    assert slot_rate(CAL, job, cell) == CAL.pi_cell_rate
+    assert slot_rate(CAL, job, plain) == CAL.pi_ppe_rate
+    # No fallback → cannot run at all.
+    stuck = SyntheticJob(1, workload="pi", backend=Backend.CELL_SPE_DIRECT,
+                         pending_maps=[0])
+    assert slot_rate(CAL, stuck, plain) == 0.0
+    # Data-driven workloads are delivery-clamped: every AES kernel beats
+    # the 10 MB/s RecordReader path, so kernel choice washes out and the
+    # policy sees identical rates on Cell and plain blades (the paper's
+    # central finding, encoded as placement indifference).
+    aes = SyntheticJob(2, workload="aes", backend=Backend.CELL_SPE_DIRECT,
+                       fallback_backend=Backend.JAVA_PPE, pending_maps=[0])
+    assert slot_rate(CAL, aes, cell) == CAL.recordreader_stream_bw
+    assert slot_rate(CAL, aes, plain) == CAL.recordreader_stream_bw
+
+
+def test_accel_prefers_matching_blades_and_waits_on_mismatch():
+    policy = AcceleratorAwareScheduler(patience=2)
+    trackers = [TrackerView(1, has_cells=False), TrackerView(2, has_cells=True)]
+    job = cell_pi_job(pending_maps=[0, 1])
+    v = SyntheticView([job], trackers)
+    # The Cell blade gets tasks at once.
+    assert [c.task_id for c in policy.assign(v, hb(tracker_id=2, maps=1))] == [0]
+    # The plain blade is declined while patience lasts...
+    assert policy.assign(v, hb(tracker_id=1, maps=1)) == []
+    assert policy.assign(v, hb(tracker_id=1, maps=1)) == []
+    # ...then accepted (progress guarantee).
+    assert [c.task_id for c in policy.assign(v, hb(tracker_id=1, maps=1))] == [0]
+
+
+def test_accel_patience_stays_exhausted_until_matched_slot():
+    policy = AcceleratorAwareScheduler(patience=1)
+    trackers = [TrackerView(1, has_cells=False), TrackerView(2, has_cells=True)]
+    job = cell_pi_job(pending_maps=[0, 1, 2])
+    v = SyntheticView([job], trackers)
+    assert policy.assign(v, hb(tracker_id=1, maps=1)) == []          # burn patience
+    assert len(policy.assign(v, hb(tracker_id=1, maps=1))) == 1     # forced
+    # Still exhausted: the next mismatched heartbeat launches directly
+    # instead of re-arming the full wait.
+    assert len(policy.assign(v, hb(tracker_id=1, maps=1))) == 1
+
+
+def test_accel_never_places_impossible_tasks_while_a_home_exists():
+    policy = AcceleratorAwareScheduler(patience=0)
+    trackers = [TrackerView(1, has_cells=False), TrackerView(2, has_cells=True)]
+    job = SyntheticJob(0, workload="pi", backend=Backend.CELL_SPE_DIRECT,
+                       pending_maps=[0])  # no fallback
+    v = SyntheticView([job], trackers)
+    assert policy.assign(v, hb(tracker_id=1, maps=2)) == []
+    assert [c.task_id for c in policy.assign(v, hb(tracker_id=2, maps=1))] == [0]
+
+
+def test_accel_degenerates_to_fifo_on_homogeneous_cluster():
+    trackers = [TrackerView(1, has_cells=True), TrackerView(2, has_cells=True)]
+    jobs = [cell_pi_job(0, pending_maps=[0, 1]), cell_pi_job(1, pending_maps=[0])]
+    accel = AcceleratorAwareScheduler().assign(SyntheticView(jobs, trackers), hb(maps=3))
+    fifo = FifoScheduler().assign(SyntheticView(jobs, trackers), hb(maps=3))
+    assert accel == fifo

@@ -1,0 +1,157 @@
+"""Property tests over the scheduling subsystem (hypothesis).
+
+Every placement policy, under random multi-job workload shapes, must
+preserve the runtime's core invariants: every job completes, every task
+is done exactly once (no task assigned twice absent speculation), work
+is conserved, and tasks only ever ran on registered blades. Fair
+sharing additionally has a quantitative obligation: concurrent
+equal-weight jobs hold approximately equal cluster shares while both
+are backlogged.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.simexec import SimulatedCluster, run_workload_mix
+from repro.hadoop import JobConf
+from repro.hadoop.job import JobState, TaskKind
+from repro.perf import Backend, PAPER_CALIBRATION
+
+CAL = PAPER_CALIBRATION
+POLICIES = ["fifo", "fair", "locality", "accel"]
+
+
+@given(
+    policy=st.sampled_from(POLICIES),
+    nodes=st.integers(min_value=1, max_value=4),
+    num_jobs=st.integers(min_value=1, max_value=3),
+    stagger=st.sampled_from([0.0, 5.0]),
+    accel_frac=st.sampled_from([0.5, 1.0]),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=20, deadline=None)
+def test_multijob_completes_under_every_policy(
+    policy, nodes, num_jobs, stagger, accel_frac, seed
+):
+    """Any policy × any workload shape: everything finishes, exactly once."""
+    mix = run_workload_mix(
+        nodes, num_jobs=num_jobs, scheduler=policy, stagger_s=stagger,
+        data_gb=0.5, samples=5e8, accelerated_fraction=accel_frac, seed=seed,
+    )
+    assert mix.succeeded
+    for result in mix.results:
+        assert result.state is JobState.SUCCEEDED
+        assert all(t.state == "done" for t in result.tasks)
+        # No task assigned twice: speculation is off in the mix, so each
+        # task ran exactly one attempt.
+        assert all(t.attempts == 1 for t in result.tasks)
+        # Work conservation for the compute-driven jobs.
+        maps = [t for t in result.tasks if t.kind is TaskKind.MAP]
+        if result.workload == "pi":
+            total = sum(t.samples for t in maps)
+            assert abs(total - 5e8) <= 1e-9 * 5e8
+        else:
+            assert result.counters["map_input_bytes"] == 0.5 * 1024**3
+        # Temporal sanity inside the job's own window.
+        for t in result.tasks:
+            assert result.submit_time <= t.start_time <= t.end_time
+
+
+@given(
+    policy=st.sampled_from(POLICIES),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=8, deadline=None)
+def test_speculation_stays_exactly_once_in_results(policy, seed):
+    """With speculation on and a straggler, duplicates may launch but
+    each task is still *done* exactly once and the job completes."""
+    sim = SimulatedCluster(3, seed=seed, slow_nodes={1: 6.0}, scheduler=policy)
+    conf = JobConf(
+        name="spec", workload="pi", backend=Backend.CELL_SPE_DIRECT,
+        samples=2e9, num_map_tasks=6, num_reduce_tasks=1, speculative=True,
+    )
+    result = sim.run_job(conf)
+    assert result.state is JobState.SUCCEEDED
+    assert all(t.state == "done" for t in result.tasks)
+    done_maps = sum(1 for t in result.tasks if t.kind is TaskKind.MAP)
+    assert done_maps == 6
+
+
+def test_live_attempt_tally_drains_after_speculation_kills():
+    """Killed speculative duplicates report nothing back; the JobTracker
+    must retire their load accounting anyway, or fair shares skew for
+    the rest of the run."""
+    sim = SimulatedCluster(3, seed=21, slow_nodes={1: 6.0}, scheduler="fair")
+    conf = JobConf(
+        name="kill", workload="pi", backend=Backend.CELL_SPE_DIRECT,
+        samples=2e9, num_map_tasks=6, num_reduce_tasks=1, speculative=True,
+    )
+    result = sim.run_job(conf)
+    assert result.succeeded
+    assert result.counters.get("speculative_attempts", 0) >= 1
+    # Every attempt — finished, failed, or killed — is accounted for.
+    assert all(v == 0 for v in sim.jobtracker._live_attempts.values())
+
+
+def test_fair_share_bounds_between_equal_jobs():
+    """While two equal-weight jobs are both backlogged, the fair policy
+    keeps their live-slot shares within one heartbeat batch of each
+    other (per-exchange granularity is the attainable bound)."""
+    sim = SimulatedCluster(4, seed=11, scheduler="fair")
+    conf = JobConf(name="fs", workload="pi", backend=Backend.CELL_SPE_DIRECT,
+                   samples=4e10, num_map_tasks=32, num_reduce_tasks=0)
+    samples: list[tuple[int, int]] = []
+    jt = sim.jobtracker
+
+    def _monitor():
+        while True:
+            yield sim.env.timeout(CAL.heartbeat_interval_s)
+            pending_a = len(jt._pending_maps.get(0, ()))
+            pending_b = len(jt._pending_maps.get(1, ()))
+            if pending_a > 0 and pending_b > 0:
+                samples.append((jt._live_attempts.get(0, 0),
+                                jt._live_attempts.get(1, 0)))
+
+    sim.start()
+    sim.env.process(_monitor(), name="fair-share-monitor")
+    results = sim.run_jobs([conf, conf.evolve(name="fs2")])
+    assert all(r.succeeded for r in results)
+    assert samples, "jobs never overlapped with backlog — weak test setup"
+    slots_per_exchange = CAL.mappers_per_node
+    for a, b in samples:
+        assert abs(a - b) <= slots_per_exchange, (a, b)
+    # And the shares are substantial, not 1-vs-all-the-rest.
+    avg_a = sum(a for a, _ in samples) / len(samples)
+    avg_b = sum(b for _, b in samples) / len(samples)
+    assert avg_a > 0 and avg_b > 0
+    assert 0.5 <= avg_a / avg_b <= 2.0
+
+
+def test_weighted_fair_share_ratio():
+    """A 3:1 weight split yields roughly a 3:1 time-averaged slot split
+    while both jobs are backlogged."""
+    sim = SimulatedCluster(4, seed=13, scheduler="fair")
+    heavy = JobConf(name="heavy", workload="pi", backend=Backend.CELL_SPE_DIRECT,
+                    samples=4e10, num_map_tasks=32, num_reduce_tasks=0,
+                    weight=3.0)
+    light = heavy.evolve(name="light", weight=1.0)
+    samples: list[tuple[int, int]] = []
+    jt = sim.jobtracker
+
+    def _monitor():
+        while True:
+            yield sim.env.timeout(CAL.heartbeat_interval_s)
+            if jt._pending_maps.get(0) and jt._pending_maps.get(1):
+                samples.append((jt._live_attempts.get(0, 0),
+                                jt._live_attempts.get(1, 0)))
+
+    sim.start()
+    sim.env.process(_monitor(), name="weighted-share-monitor")
+    results = sim.run_jobs([heavy, light])
+    assert all(r.succeeded for r in results)
+    assert samples
+    avg_heavy = sum(a for a, _ in samples) / len(samples)
+    avg_light = sum(b for _, b in samples) / len(samples)
+    assert avg_light > 0
+    ratio = avg_heavy / avg_light
+    assert 2.0 <= ratio <= 4.5, ratio
