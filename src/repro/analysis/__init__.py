@@ -8,12 +8,18 @@ from repro.analysis.shapes import (
     ratio_between,
     scaling_efficiency,
 )
-from repro.analysis.report import format_table, paper_comparison_rows, sweep_summary
+from repro.analysis.report import (
+    decision_counters_table,
+    format_table,
+    paper_comparison_rows,
+    sweep_summary,
+)
 
 __all__ = [
     "Series",
     "ascii_chart",
     "crossover_x",
+    "decision_counters_table",
     "format_table",
     "is_monotonic",
     "log_slope",

@@ -13,6 +13,7 @@ from typing import Any, Mapping, Optional, Sequence
 from repro.analysis.series import Series
 
 __all__ = [
+    "decision_counters_table",
     "format_table",
     "paper_comparison_rows",
     "series_table",
@@ -81,6 +82,46 @@ def sweep_summary(series: Sequence[Series], x_name: str = "x") -> str:
             row["loglog slope"] = round(slope, 3)
         else:
             row["loglog slope"] = ""
+        rows.append(row)
+    return format_table(rows)
+
+
+#: decision_counters key → column heading, in display order. Unknown
+#: keys (future policies) are appended alphabetically.
+_DECISION_COLUMNS = (
+    ("assignments", "assignments"),
+    ("speculative_assignments", "speculations"),
+    ("kills_issued", "kills"),
+    ("delay_waits", "delay waits"),
+    ("heartbeats", "heartbeats"),
+    ("heartbeat_parks", "parks"),
+)
+
+
+def decision_counters_table(
+    per_policy: Mapping[str, Mapping[str, float]],
+) -> str:
+    """Per-policy scheduling-decision tallies as a table.
+
+    ``per_policy`` maps a policy label (usually the scheduler name) to
+    its merged decision counters — the dict
+    :meth:`repro.hadoop.jobtracker.JobTracker.decision_counters`
+    returns. One row per policy, known counters in a fixed column
+    order so policies can be compared side by side.
+    """
+    if not per_policy:
+        return "(no decision counters)"
+    known = [k for k, _ in _DECISION_COLUMNS]
+    extras = sorted(
+        {k for counters in per_policy.values() for k in counters} - set(known)
+    )
+    rows = []
+    for label, counters in per_policy.items():
+        row: dict[str, Any] = {"scheduler": label}
+        for key, heading in _DECISION_COLUMNS:
+            row[heading] = counters.get(key, 0)
+        for key in extras:
+            row[key] = counters.get(key, 0)
         rows.append(row)
     return format_table(rows)
 

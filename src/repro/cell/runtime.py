@@ -25,6 +25,7 @@ from typing import Callable, Generator, Optional
 
 import numpy as np
 
+import repro.modelmode as modelmode
 from repro.perf.calibration import CalibrationProfile
 from repro.cell.localstore import LocalStoreOverflow
 from repro.cell.processor import CellProcessor
@@ -61,6 +62,12 @@ class OffloadRuntime:
         Chunk size; defaults to the paper's 4 KB.
     event_chunk_limit:
         Offloads with more chunks than this use the analytic path.
+    analytic_samples:
+        Collapse Monte-Carlo offloads into one composite event (the
+        event-thin model mode). ``None`` samples the
+        :mod:`repro.modelmode` default; cluster runs pass their
+        JobTracker's construction-time flag down instead, so one
+        simulation never mixes protocols.
     """
 
     name = "offload"
@@ -72,6 +79,7 @@ class OffloadRuntime:
         startup_s: float = 0.0,
         chunk_bytes: Optional[int] = None,
         event_chunk_limit: int = 1024,
+        analytic_samples: Optional[bool] = None,
     ):
         self.cell = cell
         self.env = cell.env
@@ -84,6 +92,14 @@ class OffloadRuntime:
             raise ValueError("chunk_bytes must be a multiple of the 16-byte vector size")
         self.event_chunk_limit = event_chunk_limit
         self._started = False
+        #: Event-thin model mode: Monte-Carlo offloads collapse into one
+        #: composite event via :meth:`analytic_samples_time` instead of
+        #: spawning one process per SPE. See repro.modelmode.
+        self.analytic_samples = (
+            (not modelmode.REFERENCE_MODE)
+            if analytic_samples is None
+            else bool(analytic_samples)
+        )
         self.validate_buffers()
 
     # -- local-store validation -------------------------------------------------
@@ -196,17 +212,62 @@ class OffloadRuntime:
         busy = nbytes / spe_bw + chunks * self.calib.spe_per_chunk_overhead_s
         return OffloadResult(nbytes, self.env.now - t0, chunks, "event", busy)
 
-    def offload_samples(self, samples: float, socket_rate: float) -> Generator:
+    #: Seed-in / result-out record moved per SPE by a Monte-Carlo offload.
+    PI_DMA_BYTES = 128
+
+    def analytic_samples_time(self, samples: float, socket_rate: float) -> float:
+        """Closed-form Monte-Carlo offload time (excludes startup).
+
+        The critical path of the event-accurate worker wave: all SPEs
+        issue their 128-byte seed ``get`` together, so the inbound bus
+        (FIFO, one channel) serializes ``nspe`` transfers; every SPE
+        then computes the same ``samples / socket_rate`` seconds, so the
+        result ``put``s arrive staggered by exactly one bus slice and
+        never queue. The last SPE therefore finishes after two DMA issue
+        latencies, ``nspe + 1`` bus slices, and one compute span.
+        """
+        nspe = self.cell.spe_count
+        dma = self.cell.dma
+        bus_slice = self.PI_DMA_BYTES / self.calib.dma_bus_bw
+        return (
+            2 * dma.request_latency_s
+            + (nspe + 1) * bus_slice
+            + samples / socket_rate
+        )
+
+    def offload_samples(
+        self, samples: float, socket_rate: float, lead_s: float = 0.0
+    ) -> Generator:
         """Process: run a compute-only kernel (Monte-Carlo Pi).
 
         No input data crosses the DMA engine beyond the tiny seed/result
         records, so the time is pure SPE occupancy: samples are split
-        evenly over the 8 SPEs running at ``socket_rate / 8`` each.
+        evenly over the 8 SPEs running at ``socket_rate / 8`` each. In
+        event-thin model mode the whole wave — a leading ``lead_s``
+        delay, startup, seed DMA, compute, result DMA — is one composite
+        event (:meth:`analytic_samples_time`); nothing outside the task
+        can observe the per-SPE interleaving, because each mapper slot
+        drives its own Cell socket with its own DMA engine.
         """
         if samples < 0:
             raise ValueError("samples must be non-negative")
         t0 = self.env.now
         startup = self._startup_delay()
+        if self.analytic_samples:
+            if samples == 0:
+                if lead_s > 0 or startup > 0:
+                    yield self.env.composite_timeout(lead_s, startup)
+                return OffloadResult(0.0, self.env.now - t0, 0, "analytic")
+            yield self.env.composite_timeout(
+                lead_s, startup, self.analytic_samples_time(samples, socket_rate)
+            )
+            busy = samples / socket_rate * self.cell.spe_count
+            self._record_busy(busy)
+            return OffloadResult(
+                samples, self.env.now - t0, self.cell.spe_count, "analytic", busy
+            )
+        if lead_s > 0:
+            yield self.env.pooled_timeout(lead_s)
         if startup > 0:
             yield self.env.pooled_timeout(startup)
         if samples == 0:
@@ -228,9 +289,9 @@ class OffloadRuntime:
         return OffloadResult(samples, self.env.now - t0, nspe, "event", compute_s * nspe)
 
     def _pi_spe_worker(self, spe, compute_s: float) -> Generator:
-        yield from self.cell.dma.get(128)
+        yield from self.cell.dma.get(self.PI_DMA_BYTES)
         yield from spe.compute(compute_s)
-        yield from self.cell.dma.put(128)
+        yield from self.cell.dma.put(self.PI_DMA_BYTES)
 
     # -- internals ---------------------------------------------------------------
     def _startup_delay(self) -> float:

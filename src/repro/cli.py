@@ -30,7 +30,7 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.analysis import Series, ascii_chart, sweep_summary
-from repro.analysis.report import format_table, series_table
+from repro.analysis.report import decision_counters_table, format_table, series_table
 from repro.experiments import (
     GridError,
     all_scenarios,
@@ -135,7 +135,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help="print only; skip writing JSON/CSV results")
     ps.add_argument("--cache", action="store_true",
                     help="reuse a cached result when an identical sweep "
-                         "(scenario+grid+seed+engine+calibration) already ran")
+                         "(scenario+grid+seed+engine+model+calibration) already ran")
     ps.add_argument("--cache-dir", type=Path, default=None, metavar="DIR",
                     help="cache directory (default: <out>/.cache)")
     ps.add_argument("--compare", type=Path, default=None, metavar="DIR",
@@ -361,6 +361,9 @@ def _cmd_multijob(args, out) -> int:
         "mean_completion_s": round(mix.mean_completion_s, 3),
         "remote_fraction": round(mix.remote_fraction, 4),
     }]), file=out)
+    print(file=out)
+    print(decision_counters_table({mix.scheduler: mix.decision_counters}),
+          file=out)
     return 0 if mix.succeeded else 1
 
 

@@ -8,7 +8,7 @@ the engines behind every distributed figure (4, 5, 7, 8).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.perf.calibration import Backend, CalibrationProfile, GB, PAPER_CALIBRATION
@@ -351,9 +351,17 @@ class WorkloadMixResult:
       occupancy; what an operator pays for).
     - :attr:`mean_completion_s` — average per-job submit-to-finish time
       (what each user waits; the number fair sharing improves).
+
+    ``decision_counters`` carries the run's scheduling-decision tallies
+    (JobTracker mechanism counts — assignments, speculations, kills,
+    heartbeats — merged with policy-internal counts such as
+    delay-scheduling waits); ``scheduler`` names the policy that made
+    them.
     """
 
     results: list[JobResult]
+    scheduler: str = ""
+    decision_counters: dict[str, int] = field(default_factory=dict)
 
     @property
     def succeeded(self) -> bool:
@@ -444,7 +452,12 @@ def run_workload_mix(
                 )
             )
     arrivals = [i * stagger_s for i in range(num_jobs)]
-    mix = WorkloadMixResult(results=sim.run_jobs(confs, arrivals=arrivals))
+    results = sim.run_jobs(confs, arrivals=arrivals)
+    mix = WorkloadMixResult(
+        results=results,
+        scheduler=sim.jobtracker.scheduler.name,
+        decision_counters=sim.jobtracker.decision_counters(),
+    )
     return (mix, sim) if return_cluster else mix
 
 

@@ -1,12 +1,13 @@
 """Scenario-level result caching.
 
 A sweep is a pure function of its *request*: the scenario definition
-(grid, defaults, curves, seed), the engine mode, the calibration
-profile — and the code itself. :func:`request_key` hashes the canonical
-request description plus a best-effort code-version marker (the git
-HEAD commit, read without spawning a process), so two invocations that
-would provably compute identical series share one cache entry, while a
-grid override, another seed, the reference engine, a calibration tweak,
+(grid, defaults, curves, seed), the engine mode, the model-protocol
+mode (repro.modelmode), the calibration profile — and the code itself.
+:func:`request_key` hashes the canonical request description plus a
+best-effort code-version marker (the git HEAD commit, read without
+spawning a process), so two invocations that would provably compute
+identical series share one cache entry, while a grid override, another
+seed, the reference engine or reference model, a calibration tweak,
 or a new commit each miss by construction. The one honest gap: edits
 that are not yet committed do not change the key — after hacking on
 model code, clear the cache directory (or commit) before trusting a
@@ -27,6 +28,7 @@ import json
 from pathlib import Path
 from typing import Any, Optional, Union
 
+import repro.modelmode as modelmode
 import repro.sim.engine as engine
 from repro.analysis.series import Series
 from repro.experiments.driver import SweepResult, run_sweep
@@ -82,6 +84,7 @@ def request_key(scenario: Scenario, reference: Optional[bool] = None) -> str:
         "x": scenario.x,
         "curves": list(scenario.curves),
         "reference_engine": bool(reference),
+        "reference_model": bool(modelmode.REFERENCE_MODE),
         "calibration": PAPER_CALIBRATION.to_dict(),
     }
     blob = json.dumps(request, sort_keys=True, separators=(",", ":"), default=repr)

@@ -23,6 +23,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Optional, Union
 
+import repro.modelmode as modelmode
 import repro.sim.engine as engine
 from repro.analysis.series import Series
 from repro.experiments.registry import get_scenario
@@ -88,13 +89,15 @@ class SweepResult:
 
 def _run_point_task(task: tuple) -> tuple[int, dict[str, float]]:
     """Worker-side: one grid point, resolved by scenario name."""
-    name, idx, cfg, reference = task
+    name, idx, cfg, reference, model_reference = task
     prev = engine.set_reference_mode(reference)
+    prev_model = modelmode.set_model_reference(model_reference)
     try:
         scenario = get_scenario(name)
         return idx, dict(scenario.run_point(cfg))
     finally:
         engine.set_reference_mode(prev)
+        modelmode.set_model_reference(prev_model)
 
 
 def _pool_context() -> multiprocessing.context.BaseContext:
@@ -133,8 +136,11 @@ def run_sweep(
     sc = get_scenario(scenario) if isinstance(scenario, str) else scenario
     sc = sc.with_overrides(overrides, seed=seed)
     points = sc.points()
+    # Workers re-apply both the parent's engine mode and its model-
+    # protocol mode, so sweeps behave identically under any start method.
     reference = engine.REFERENCE_MODE
-    tasks = [(sc.name, i, cfg, reference) for i, cfg in enumerate(points)]
+    model_reference = modelmode.REFERENCE_MODE
+    tasks = [(sc.name, i, cfg, reference, model_reference) for i, cfg in enumerate(points)]
 
     t0 = time.perf_counter()
     results: list[Optional[dict[str, float]]] = [None] * len(points)

@@ -28,7 +28,12 @@ from repro.experiments.registry import register
 from repro.experiments.scenario import Scenario
 from repro.perf.calibration import GB, Backend, PAPER_CALIBRATION
 
-__all__ = ["FIGURE_SCENARIOS", "EXTENSION_SCENARIOS", "SCHED_SCENARIOS"]
+__all__ = [
+    "FIGURE_SCENARIOS",
+    "EXTENSION_SCENARIOS",
+    "SCALE_SCENARIOS",
+    "SCHED_SCENARIOS",
+]
 
 _CALIB = PAPER_CALIBRATION
 
@@ -368,6 +373,66 @@ SCHED_SCENARIOS = (
         },
         xlabel="Concurrent jobs",
         ylabel="Time (s)",
+    )),
+)
+
+
+# --------------------------------------------------------------------------- #
+# Cluster-scale studies (event-thin model layer)                                #
+# --------------------------------------------------------------------------- #
+
+
+def scale_point(cfg: Mapping[str, Any]) -> dict[str, float]:
+    """One weak-scaled multi-job mix per placement policy at one size.
+
+    Per-node work is held constant as the cluster grows (each AES job
+    reads ``gb_per_node`` GB per blade, each Pi job draws
+    ``samples_per_node`` samples per blade), so the curves isolate the
+    *coordination* cost — JobTracker serialization, placement quality —
+    from plain problem-size effects. These node counts (256-1024) are
+    far beyond the paper's 64-blade testbed; the event-thin cluster
+    protocol is what keeps them simulable (docs/PERFORMANCE.md,
+    "Model-layer performance").
+    """
+    nodes = cfg["nodes"]
+    out = {}
+    for label, policy in SCHED_POLICIES:
+        mix = run_workload_mix(
+            nodes,
+            num_jobs=cfg["num_jobs"],
+            scheduler=policy,
+            stagger_s=cfg["stagger_s"],
+            data_gb=cfg["gb_per_node"] * nodes,
+            samples=cfg["samples_per_node"] * nodes,
+            accelerated_fraction=cfg["accelerated_fraction"],
+            seed=cfg["seed"],
+        )
+        out[label] = mix.mean_completion_s
+    return out
+
+
+SCALE_SCENARIOS = (
+    register(Scenario(
+        name="scale",
+        title="Cluster scale: {num_jobs}-job mixes, weak scaling",
+        description="Multi-job AES+Pi workloads on 256/512/1024 worker "
+                    "blades under every placement policy, with per-node "
+                    "work held constant; mean job completion time per "
+                    "policy (the cluster-scale frontier the event-thin "
+                    "model layer opens).",
+        run_point=scale_point,
+        grid={"nodes": (256, 512, 1024)},
+        x="nodes",
+        curves=tuple(label for label, _ in SCHED_POLICIES),
+        defaults={
+            "num_jobs": 4,
+            "stagger_s": 10.0,
+            "gb_per_node": 0.25,
+            "samples_per_node": 4e9,
+            "accelerated_fraction": 0.5,
+        },
+        xlabel="Nodes",
+        ylabel="Mean job completion (s)",
     )),
 )
 

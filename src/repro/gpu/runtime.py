@@ -75,11 +75,20 @@ class GPUOffloadRuntime:
         self.device.busy_s += busy
         return OffloadResult(nbytes, self.env.now - t0, batches, "analytic", busy)
 
-    def offload_samples(self, samples: float, rate_override: float = 0.0) -> Generator:
-        """Process: run the Monte-Carlo kernel on the device."""
+    def offload_samples(
+        self, samples: float, rate_override: float = 0.0, lead_s: float = 0.0
+    ) -> Generator:
+        """Process: run the Monte-Carlo kernel on the device.
+
+        ``lead_s`` is a pure leading delay folded in by the kernel
+        bridge (task launch); the GPU device pipeline stays event-
+        accurate, so it is paid as a plain delay up front.
+        """
         if samples < 0:
             raise ValueError("samples must be non-negative")
         t0 = self.env.now
+        if lead_s > 0:
+            yield self.env.timeout(lead_s)
         yield from self._ensure_started()
         if samples == 0:
             return OffloadResult(0.0, self.env.now - t0, 0, "analytic")

@@ -28,8 +28,10 @@ pre-refactor inline logic decision for decision.
 
 from __future__ import annotations
 
+from heapq import heappop, heappush
 from typing import TYPE_CHECKING, Generator, Union
 
+import repro.modelmode as modelmode
 from repro.hadoop.config import JobConf
 from repro.hadoop.job import Job, JobState, TaskKind, TaskRecord
 from repro.hadoop.messages import (
@@ -85,12 +87,37 @@ class JobTracker:
         self._kill_queue: dict[int, list[KillDirective]] = {}
         self._next_job_id = 0
         self._started = False
+        #: Event-thin protocol (sampled once; see repro.modelmode).
+        self.event_thin: bool = not modelmode.REFERENCE_MODE
+        #: Lazy expiry heap for dead-tracker detection: one
+        #: ``(last_seen + timeout, tracker_id)`` entry per live tracker,
+        #: re-armed on pop when the stored deadline turned out stale.
+        self._expiry: list[tuple[float, int]] = []
+        #: Incremental ClusterView bookkeeping: the view caches its
+        #: JobView/TrackerView structures against these epochs, so an
+        #: ``assign`` call costs O(changed), not O(trackers x jobs).
+        self._membership_epoch = 0
+        self._jobs_epoch = 0
+        self._queue_epochs: dict[int, int] = {}
+        #: Mechanism-side decision tallies (policy-side ones live on the
+        #: Scheduler; see :meth:`decision_counters`).
+        self._decisions: dict[str, int] = {
+            "heartbeats": 0,
+            "assignments": 0,
+            "speculative_assignments": 0,
+            "kills_issued": 0,
+        }
         self._view = ClusterView(self)
 
     # -- membership -------------------------------------------------------------
     def register_tracker(self, tracker: "TaskTracker") -> None:
         self._trackers[tracker.tracker_id] = tracker
         self._last_seen[tracker.tracker_id] = self.env.now
+        heappush(
+            self._expiry,
+            (self.env.now + self.calib.heartbeat_timeout_s, tracker.tracker_id),
+        )
+        self._membership_epoch += 1
 
     @property
     def live_trackers(self) -> list[int]:
@@ -98,6 +125,61 @@ class JobTracker:
 
     def job_by_id(self, job_id: int) -> Job:
         return self._jobs[job_id]
+
+    # -- event-thin protocol support ---------------------------------------------
+    def has_demand(self) -> bool:
+        """True while an *idle* tracker's heartbeat could earn work.
+
+        PREP jobs count (their queues fill within ``job_setup_s``, so
+        idle trackers keep the fixed cadence instead of parking and
+        waking moments later); a RUNNING job demands slots while it has
+        pending tasks, or while speculation could still duplicate one of
+        its running maps. Job counts are small (one dict scan), so this
+        stays cheap on the per-heartbeat path.
+        """
+        for job_id, job in self._jobs.items():
+            state = job.state
+            if state is JobState.PREP:
+                return True
+            if state is JobState.RUNNING:
+                if self._pending_maps.get(job_id) or self._pending_reduces.get(job_id):
+                    return True
+                if job.conf.speculative and not job.maps_all_done:
+                    return True
+        return False
+
+    def _poke_trackers(self) -> None:
+        """Demand signal: wake every parked tracker (event-thin mode).
+
+        Registration order is ascending node id, so the wakeup order is
+        deterministic. Trackers that cannot use the news (still full)
+        simply re-park.
+        """
+        if not self.event_thin:
+            return
+        for tracker in self._trackers.values():
+            tracker.poke()
+
+    def _bump_queue(self, job_id: int) -> None:
+        """Invalidate the view's cached pending-queue snapshot."""
+        self._queue_epochs[job_id] = self._queue_epochs.get(job_id, 0) + 1
+
+    # -- decision counters ---------------------------------------------------------
+    def decision_counters(self) -> dict[str, int]:
+        """Mechanism + policy decision tallies for reporting.
+
+        Merges the JobTracker's apply-side counts (assignments,
+        speculations, kills, heartbeats handled) with whatever the
+        active policy tallied internally (e.g. delay-scheduling waits)
+        and the trackers' elision stats.
+        """
+        out = dict(self._decisions)
+        out["heartbeat_parks"] = sum(
+            t.heartbeat_parks for t in self._trackers.values()
+        )
+        for key, value in sorted(self.scheduler.decision_counters().items()):
+            out[key] = out.get(key, 0) + value
+        return out
 
     # -- policy selection --------------------------------------------------------
     def set_scheduler(self, scheduler: Union[str, Scheduler, type]) -> Scheduler:
@@ -130,7 +212,11 @@ class JobTracker:
         job.submit_time = self.env.now
         self._next_job_id += 1
         self._jobs[job.job_id] = job
+        self._jobs_epoch += 1
         self.env.process(self._setup_job(job), name=f"job-setup-{job.job_id}")
+        # Demand appeared: parked trackers must resume the heartbeat
+        # cadence (the PREP state keeps them from re-parking).
+        self._poke_trackers()
         return job
 
     def _setup_job(self, job: Job) -> Generator:
@@ -143,6 +229,7 @@ class JobTracker:
                 meta = self.client.namenode.file_meta(conf.input_path)
             except HDFSError as exc:
                 job.mark_finished(JobState.FAILED, reason=f"job setup failed: {exc}")
+                self._jobs_epoch += 1
                 return
             splits = InputFormat.compute_splits(meta, num_splits=conf.num_map_tasks)
             for split in splits:
@@ -157,7 +244,9 @@ class JobTracker:
             job.reduces[r] = TaskRecord(kind=TaskKind.REDUCE, task_id=r)
         self._pending_maps[job.job_id] = sorted(job.maps)
         self._pending_reduces[job.job_id] = []
+        self._bump_queue(job.job_id)
         job.state = JobState.RUNNING
+        self._jobs_epoch += 1
         if not job.maps:
             yield from self._finish_job(job)
         if self.tracer.enabled:
@@ -192,6 +281,7 @@ class JobTracker:
         corruption).
         """
         self._last_seen[hb.tracker_id] = self.env.now
+        self._decisions["heartbeats"] += 1
         kills = tuple(self._kill_queue.pop(hb.tracker_id, ()))
         choices = self.scheduler.assign(self._view, hb)
         maps = sum(1 for c in choices if c.kind is TaskKind.MAP)
@@ -229,6 +319,7 @@ class JobTracker:
                     f"(state {task.state!r})"
                 )
             job.bump("speculative_attempts")
+            self._decisions["speculative_assignments"] += 1
         else:
             pending = (
                 self._pending_maps
@@ -242,6 +333,8 @@ class JobTracker:
                     f"{self.scheduler.name}: {choice.kind.value} task "
                     f"{choice.task_id} of job {job.job_id} is not pending"
                 ) from None
+            self._bump_queue(job.job_id)
+            self._decisions["assignments"] += 1
             if choice.kind is TaskKind.MAP:
                 job.bump(
                     "data_local_maps"
@@ -320,11 +413,21 @@ class JobTracker:
                 self._kill_queue.setdefault(tracker_id, []).append(
                     KillDirective(msg.job_id, msg.kind, msg.task_id, attempt)
                 )
+                self._decisions["kills_issued"] += 1
+                # Kills ride on heartbeats; a sleeping target must
+                # report in now, not at its keepalive deadline.
+                if self.event_thin:
+                    target = self._trackers.get(tracker_id)
+                    if target is not None:
+                        target.poke(dirty=True, urgent=True)
             self._note_attempts_gone(msg.job_id, len(leftovers))
             self._running_attempts[key] = []
         if msg.kind is TaskKind.MAP and job.maps_all_done and job.maps_done_time < 0:
             job.maps_done_time = self.env.now
             self._pending_reduces[job.job_id] = sorted(job.reduces)
+            self._bump_queue(job.job_id)
+            if self._pending_reduces[job.job_id]:
+                self._poke_trackers()
         if job.is_complete:
             self.env.process(self._finish_job(job), name=f"job-finish-{job.job_id}")
 
@@ -346,6 +449,7 @@ class JobTracker:
                 JobState.FAILED,
                 reason=f"{msg.kind.value} task {msg.task_id} failed {task.attempts} times: {msg.reason}",
             )
+            self._jobs_epoch += 1
             return
         task.state = "pending"
         pending = (
@@ -353,6 +457,8 @@ class JobTracker:
         ).setdefault(msg.job_id, [])
         if msg.task_id not in pending:
             pending.append(msg.task_id)
+            self._bump_queue(msg.job_id)
+            self._poke_trackers()
 
     def _note_attempts_gone(self, job_id: int, count: int) -> None:
         """Keep the per-job live-attempt tally in step with
@@ -366,23 +472,70 @@ class JobTracker:
         yield self.env.timeout(self.calib.job_cleanup_s)
         if job.state is JobState.RUNNING or job.state is JobState.PREP:
             job.mark_finished(JobState.SUCCEEDED)
+            self._jobs_epoch += 1
             if self.tracer.enabled:
                 self.tracer.emit("jobtracker", "job_done", job=job.job_id)
 
     # -- failure detection ---------------------------------------------------------------
     def _failure_monitor(self) -> Generator:
+        """Dead-tracker detection against the lazy expiry heap.
+
+        Reference model: tick every heartbeat interval (the pre-overhaul
+        schedule; declarations land on the same ticks, since the heap
+        check finds exactly the trackers the full ``_last_seen`` scan
+        used to). Event-thin model: sleep to the earliest expiry
+        deadline instead — O(1) wakeups per timeout window rather than
+        one per interval, with the sleep clamped to
+        ``[interval, timeout]`` so late joiners are still picked up.
+        """
         interval = self.calib.heartbeat_interval_s
+        timeout = self.calib.heartbeat_timeout_s
+        thin = self.event_thin
+        heap = self._expiry
         while True:
-            yield self.env.pooled_timeout(interval)
-            now = self.env.now
-            for tracker_id in list(self._trackers):
-                if now - self._last_seen.get(tracker_id, now) > self.calib.heartbeat_timeout_s:
-                    self._declare_lost(tracker_id)
+            if thin and heap:
+                delay = min(max(heap[0][0] - self.env.now, interval), timeout)
+            else:
+                delay = interval
+            yield self.env.pooled_timeout(delay)
+            self._check_liveness()
+
+    def _check_liveness(self) -> None:
+        """Declare every expired tracker lost — O(expired + re-armed).
+
+        Heap entries carry the deadline implied by the ``_last_seen``
+        value current when they were (re-)pushed; a popped entry whose
+        tracker has heartbeat since is re-armed at its true deadline.
+        Expiry keeps the pre-overhaul strict inequality
+        (``now - last_seen > timeout``) in reference model mode; the
+        event-thin monitor wakes exactly at deadlines, so it treats
+        ``>=`` as expired (detection up to one interval earlier).
+        """
+        now = self.env.now
+        timeout = self.calib.heartbeat_timeout_s
+        heap = self._expiry
+        thin = self.event_thin
+        expired: list[int] = []
+        while heap and (heap[0][0] <= now if thin else heap[0][0] < now):
+            _deadline, tracker_id = heappop(heap)
+            last = self._last_seen.get(tracker_id)
+            if last is None:
+                continue  # already declared lost (stale entry)
+            true_deadline = last + timeout
+            if (true_deadline <= now) if thin else (true_deadline < now):
+                expired.append(tracker_id)
+            else:
+                heappush(heap, (true_deadline, tracker_id))
+        # Ascending-id order == the registration order the pre-overhaul
+        # full scan used, so multi-loss recovery stays deterministic.
+        for tracker_id in sorted(expired):
+            self._declare_lost(tracker_id)
 
     def _declare_lost(self, tracker_id: int) -> None:
         """Remove a dead tracker and reschedule everything it owed us."""
         self._trackers.pop(tracker_id, None)
         self._last_seen.pop(tracker_id, None)
+        self._membership_epoch += 1
         if self.tracer.enabled:
             self.tracer.emit("jobtracker", "tracker_lost", tracker=tracker_id)
         for key, attempts in list(self._running_attempts.items()):
@@ -403,6 +556,7 @@ class JobTracker:
                 ).setdefault(job_id, [])
                 if task_id not in pending:
                     pending.append(task_id)
+                    self._bump_queue(job_id)
                 job.bump("rescheduled_tasks")
         # Completed map outputs on the dead node are gone; jobs with
         # reducers still shuffling must re-run those maps.
@@ -421,6 +575,9 @@ class JobTracker:
                     pending = self._pending_maps.setdefault(job.job_id, [])
                     if task.task_id not in pending:
                         pending.append(task.task_id)
+                        self._bump_queue(job.job_id)
                     if job.maps_done_time >= 0:
                         job.maps_done_time = -1.0
                     job.bump("rerun_completed_maps")
+        # Requeued work is demand: wake every parked survivor.
+        self._poke_trackers()

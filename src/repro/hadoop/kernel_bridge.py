@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Generator, Optional
 
+import repro.modelmode as modelmode
 from repro.perf.calibration import Backend, CalibrationProfile
 from repro.cell.runtime import CellMapReduceRuntime, DirectSPERuntime, OffloadRuntime
 
@@ -46,6 +47,7 @@ class MapKernel:
         backend: Backend,
         workload: str,
         calib: CalibrationProfile,
+        event_thin: Optional[bool] = None,
     ):
         self.node = node
         self.slot = slot
@@ -55,6 +57,12 @@ class MapKernel:
         self.env = node.env
         self._started = False
         self._runtime: Optional[OffloadRuntime] = None
+        # Model-protocol mode. A cluster-run kernel receives the
+        # JobTracker's construction-time flag through the TaskContext,
+        # so one simulation can never mix protocols even if the
+        # repro.modelmode default flips mid-run; standalone construction
+        # (raw single-node benches, unit tests) samples the default.
+        self._thin = (not modelmode.REFERENCE_MODE) if event_thin is None else event_thin
         self.kernel_busy_s = 0.0
 
         if backend in (Backend.CELL_SPE_DIRECT, Backend.CELL_SPE_MAPREDUCE):
@@ -68,6 +76,7 @@ class MapKernel:
                 cell,
                 calib,
                 startup_s=calib.kernel_startup_s(backend, workload),
+                analytic_samples=self._thin,
             )
         elif backend is Backend.GPU_TESLA:
             if not node.gpus:
@@ -118,17 +127,33 @@ class MapKernel:
         self._record_busy(seconds)
 
     # -- compute-driven kernels --------------------------------------------------------
-    def run_samples(self, samples: float) -> Generator:
-        """Process: run the Monte-Carlo kernel for ``samples`` samples."""
+    def run_samples(self, samples: float, lead_s: float = 0.0) -> Generator:
+        """Process: run the Monte-Carlo kernel for ``samples`` samples.
+
+        ``lead_s`` is a pure leading delay the caller wants folded into
+        the kernel's first scheduled event (the task-launch cost — see
+        ``hadoop.tasks.run_map_task``); nothing observable happens
+        between it and the kernel wave, so merging it costs one event
+        less per attempt while keeping the same total delay.
+        """
         if self.backend is Backend.EMPTY:
+            if lead_s > 0:
+                yield self.env.pooled_timeout(lead_s)
             return
         slow = self.node.speed_factor
         if self._runtime is not None:
             rate = self.calib.pi_backend_rate(self.backend) / slow
-            result = yield from self._runtime.offload_samples(samples, rate)
+            result = yield from self._runtime.offload_samples(samples, rate, lead_s=lead_s)
             self._record_busy(self._wallclock_busy(result))
             return
         rate = self.calib.pi_backend_rate(self.backend) / slow
         seconds = samples / rate
-        yield self.env.composite_timeout(self._java_startup_delay(), seconds)
+        if self._thin:
+            yield self.env.composite_timeout(lead_s, self._java_startup_delay(), seconds)
+        else:
+            # Reference model: the launch delay stays its own event, so
+            # the pre-overhaul timeline is reproduced byte for byte.
+            if lead_s > 0:
+                yield self.env.pooled_timeout(lead_s)
+            yield self.env.composite_timeout(self._java_startup_delay(), seconds)
         self._record_busy(seconds)

@@ -59,6 +59,11 @@ class TaskContext:
     tracer: Optional["Tracer"] = None
     map_outputs: Optional[dict] = None
     """Shared registry: (job_id, map_task_id) → :class:`MapOutput`."""
+    event_thin: Optional[bool] = None
+    """The cluster's model-protocol mode (JobTracker-bound), threaded to
+    kernels so a mid-run flip of the repro.modelmode default can never
+    mix protocols inside one simulation. None falls back to the global
+    default (engine-free unit-test / raw-bench construction)."""
 
 
 def _map_output_bytes(conf: JobConf, input_bytes: float) -> float:
@@ -82,7 +87,15 @@ def run_map_task(
     env = ctx.env
     calib = ctx.calib
     conf = job.conf
-    yield env.pooled_timeout(calib.task_launch_s)
+    if conf.workload == "pi":
+        # Compute-driven attempts fold the launch delay into the kernel
+        # wave (one composite event in event-thin model mode; the same
+        # delay as a separate event otherwise) — nothing observable
+        # happens between launch and the first kernel event.
+        launch_lead = calib.task_launch_s
+    else:
+        launch_lead = 0.0
+        yield env.pooled_timeout(calib.task_launch_s)
 
     backend = conf.backend
     needs_missing_accel = (
@@ -93,7 +106,9 @@ def run_map_task(
         # §V heterogeneous clusters: a Cell-targeted task scheduled onto
         # a general-purpose node falls back to the portable kernel.
         backend = conf.fallback_backend
-    kernel = MapKernel(ctx.node, slot, backend, conf.workload, calib)
+    kernel = MapKernel(
+        ctx.node, slot, backend, conf.workload, calib, event_thin=ctx.event_thin
+    )
     stats: dict[str, Any] = {
         "records": 0,
         "input_bytes": 0.0,
@@ -103,7 +118,7 @@ def run_map_task(
     }
 
     if conf.workload == "pi":
-        yield from kernel.run_samples(task.samples)
+        yield from kernel.run_samples(task.samples, lead_s=launch_lead)
         stats["kernel_busy_s"] = kernel.kernel_busy_s
         stats["output_bytes"] = PI_MAP_OUTPUT_BYTES
         yield from ctx.node.disk.write(PI_MAP_OUTPUT_BYTES)

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Generator, Optional
 
+import repro.modelmode as modelmode
 from repro.hadoop.job import TaskKind
 from repro.hadoop.messages import (
     Assignment,
@@ -69,6 +70,18 @@ class TaskTracker:
         self._used_reduce_slots = 0
         self._slot_in_use: list[bool] = [False] * self.map_slots
         self._proc: Optional[Process] = None
+        # Event-thin heartbeat state (see repro.modelmode): a dirty flag
+        # forces the next heartbeat out even when nothing else would;
+        # while parked, the loop waits for a poke or the keepalive
+        # deadline instead of emitting work-less fixed-interval rounds.
+        self._event_thin = jobtracker.event_thin
+        self._dirty = True
+        self._wait_kind: Optional[str] = None  # None | "parked" | "resting"
+        self._rejitter = False
+        self._next_keepalive = 0.0
+        self._keepalive_s = self.calib.heartbeat_timeout_s * modelmode.KEEPALIVE_FACTOR
+        self.heartbeat_parks = 0
+        """Work-less heartbeat rounds replaced by a park (diagnostics)."""
         jobtracker.register_tracker(self)
 
     @property
@@ -104,16 +117,102 @@ class TaskTracker:
         # Slot counters unwind through each attempt's finally block.
 
     # -- heartbeat protocol ----------------------------------------------------------
+    def poke(self, dirty: bool = False, urgent: bool = False) -> None:
+        """Wake a sleeping heartbeat loop early (event-thin mode).
+
+        ``dirty=True`` marks local state changed (slot release), which
+        forces the next heartbeat out even if the elision predicate
+        would skip it. ``urgent=True`` (a kill waiting at the JobTracker)
+        always wakes. A non-urgent poke wakes the loop only when an
+        immediate heartbeat could accomplish something: this tracker has
+        a free slot to offer *and* the cluster has work to hand out —
+        otherwise the sleep (and the heartbeat phase) is left alone and
+        the dirty flag simply makes the next scheduled round un-elidable.
+
+        Clearing ``_wait_kind`` *before* interrupting makes a
+        same-instant double poke a no-op instead of a stray Interrupt
+        into the next protocol step.
+        """
+        if dirty:
+            self._dirty = True
+        if self._wait_kind is None:
+            return
+        if not urgent:
+            if self._wait_kind == "resting":
+                # Mid-cadence trackers keep their phase: the next
+                # scheduled round is at most one interval away and the
+                # dirty flag guarantees it goes out — exactly what the
+                # fixed-interval protocol would deliver.
+                return
+            if self.free_map_slots == 0 and self.free_reduce_slots == 0:
+                return  # nothing to offer; keepalive covers liveness
+            if not self.jt.has_demand():
+                return  # nothing to fetch; the dirty flag persists
+            # A parked tracker lost its heartbeat phase; rather than
+            # reporting instantly (which would synchronize every parked
+            # tracker onto the demand event and compress the assignment
+            # ramp the paper's JobTracker serialization spreads out), it
+            # re-enters the cadence at a fresh jittered phase.
+            self._rejitter = True
+        self._wait_kind = None
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("poke")
+
+    def _may_skip_heartbeat(self) -> bool:
+        """The elision predicate: this round's heartbeat carries nothing.
+
+        True when nothing changed locally since the last report
+        (``_dirty`` clear) and either every slot is busy (the scheduler
+        could not place work here) or the cluster has no demand for the
+        free slots (nothing pending, nothing speculatable). Time-driven
+        policy behaviour — straggler speculation, delay-scheduling
+        patience — only needs heartbeats from trackers with free slots
+        *while demand exists*, and those keep the fixed cadence.
+        """
+        if self._dirty:
+            return False
+        if self.free_map_slots == 0 and self.free_reduce_slots == 0:
+            return True
+        return not self.jt.has_demand()
+
+    def _interruptible_sleep(self, duration: float, kind: str) -> Generator:
+        """Sleep that a :meth:`poke` may cut short (event-thin mode)."""
+        self._wait_kind = kind
+        try:
+            yield self.env.timeout(duration)
+        except Interrupt:
+            pass
+        finally:
+            self._wait_kind = None
+
     def _heartbeat_loop(self) -> Generator:
         jitter_rng = self.jt.rng.stream(f"tt-jitter-{self.tracker_id}")
+        interval = self.calib.heartbeat_interval_s
         # Desynchronize tracker phases like real daemon start-up does.
-        yield self.env.pooled_timeout(float(jitter_rng.uniform(0, self.calib.heartbeat_interval_s)))
+        yield self.env.pooled_timeout(float(jitter_rng.uniform(0, interval)))
         while self.alive:
+            if self._rejitter:
+                # Woken from a park by a demand signal: rejoin the
+                # heartbeat cadence at a fresh phase, like a restarted
+                # daemon, instead of synchronizing on the wake instant.
+                self._rejitter = False
+                yield self.env.pooled_timeout(float(jitter_rng.uniform(0, interval)))
+                continue
+            if self._event_thin and self._may_skip_heartbeat():
+                # Park until poked, but never past the keepalive
+                # deadline — the failure detector must keep seeing us.
+                wait = self._next_keepalive - self.env.now
+                if wait > 0:
+                    self.heartbeat_parks += 1
+                    yield from self._interruptible_sleep(wait, "parked")
+                    continue  # re-evaluate with fresh state
             hb = Heartbeat(
                 tracker_id=self.tracker_id,
                 free_map_slots=self.free_map_slots,
                 free_reduce_slots=self.free_reduce_slots,
             )
+            self._dirty = False
+            self._next_keepalive = self.env.now + self._keepalive_s
             yield self.jt.inbox.put((hb, self.mailbox))
             reply = yield self.mailbox.get(_is_assignment_reply)
             for kill in reply.kills:
@@ -124,9 +223,15 @@ class TaskTracker:
             started = [proc for a in reply.assignments if (proc := self._launch(a)) is not None]
             if started:
                 self.env.start_processes(started)
-            yield self.env.pooled_timeout(
-                self.calib.heartbeat_interval_s * float(jitter_rng.uniform(0.95, 1.05))
-            )
+            sleep_s = interval * float(jitter_rng.uniform(0.95, 1.05))
+            if self._event_thin:
+                # The between-rounds rest is also wakeable: when demand
+                # appears (job arrival, reduces unlocked, requeue) a
+                # free-slotted tracker reports in immediately instead of
+                # waiting out its interval.
+                yield from self._interruptible_sleep(sleep_s, "resting")
+            else:
+                yield self.env.pooled_timeout(sleep_s)
 
     def _kill_attempt(self, kill: KillDirective) -> None:
         key = (kill.job_id, kill.kind, kill.task_id, kill.attempt)
@@ -178,6 +283,7 @@ class TaskTracker:
             calib=self.calib,
             tracer=self.jt.tracer,
             map_outputs=self.jt.map_outputs,
+            event_thin=self._event_thin,
         )
         try:
             if is_map:
@@ -222,6 +328,11 @@ class TaskTracker:
                 self._slot_in_use[slot] = False
             else:
                 self._used_reduce_slots = max(0, self._used_reduce_slots - 1)
+            if self._event_thin:
+                # Slot released: local state changed, so the next
+                # heartbeat must go out — and if the loop is parked,
+                # right now (the demand-driven wakeup).
+                self.poke(dirty=True)
 
     def free_slot_indices(self) -> list[int]:
         """Map slot indices currently idle (socket binding for the bridge)."""

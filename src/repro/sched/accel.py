@@ -112,19 +112,26 @@ class AcceleratorAwareScheduler(Scheduler):
         self._waits = {jid: n for jid, n in self._waits.items() if jid in live}
         limit = self.patience
         if limit is None:
-            limit = 2 * max(1, len(view.trackers()))
+            limit = 2 * max(1, view.tracker_count)
         calib = view.calib
         tracker = view.tracker(hb.tracker_id)
-        trackers = view.trackers()
 
         # Best-anywhere rates depend only on job config and the tracker
         # set, so memoize them until membership/capabilities change —
         # recomputing per heartbeat would be O(jobs x trackers) of
-        # identical work on the protocol's hot path.
-        sig = tuple(
-            (t.tracker_id, t.has_cells, t.has_gpus, t.speed_factor)
-            for t in trackers
-        )
+        # identical work on the protocol's hot path. A live ClusterView
+        # exposes its membership epoch as an O(1) memo key; synthetic
+        # test views fall back to the capability-signature tuple.
+        epoch = getattr(view, "membership_epoch", None)
+        if epoch is not None:
+            sig = epoch
+            trackers: Optional[list["TrackerView"]] = None
+        else:
+            trackers = view.trackers()
+            sig = tuple(
+                (t.tracker_id, t.has_cells, t.has_gpus, t.speed_factor)
+                for t in trackers
+            )
         if sig != self._best_sig:
             self._best_sig = sig
             self._best_rates = {}
@@ -136,6 +143,8 @@ class AcceleratorAwareScheduler(Scheduler):
             cfg = (job.backend, job.fallback_backend, job.workload)
             best = self._best_rates.get(cfg)
             if best is None:
+                if trackers is None:
+                    trackers = view.trackers()  # only on a memo miss
                 best = self._best_rates[cfg] = max(
                     (slot_rate(calib, job, t) for t in trackers), default=0.0
                 )
@@ -187,4 +196,6 @@ class AcceleratorAwareScheduler(Scheduler):
 
         for jid in declined:
             self._waits[jid] = self._waits.get(jid, 0) + 1
+        if declined:
+            self._bump_counter("delay_waits", len(declined))
         return batch.choices

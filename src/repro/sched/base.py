@@ -253,6 +253,21 @@ class Scheduler(ABC):
         doc = (self.__doc__ or "").strip()
         return doc.splitlines()[0] if doc else self.name
 
+    # -- decision counters ---------------------------------------------------
+    def _bump_counter(self, key: str, amount: int = 1) -> None:
+        """Tally a policy-internal decision (e.g. a delay-scheduling
+        wait). Surfaced next to the JobTracker's mechanism counters via
+        :meth:`JobTracker.decision_counters`."""
+        counters = getattr(self, "_counters", None)
+        if counters is None:
+            counters = self._counters = {}
+        counters[key] = counters.get(key, 0) + amount
+
+    def decision_counters(self) -> dict[str, int]:
+        """Policy-internal decision tallies (empty unless the policy
+        counts something)."""
+        return dict(getattr(self, "_counters", {}) or {})
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<{type(self).__name__} {self.name!r}>"
 

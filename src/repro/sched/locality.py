@@ -57,7 +57,7 @@ class LocalityAwareScheduler(Scheduler):
         self._skips = {jid: n for jid, n in self._skips.items() if jid in live}
         limit = self.max_skips
         if limit is None:
-            limit = 2 * max(1, len(view.trackers()))
+            limit = 2 * max(1, view.tracker_count)
 
         free_maps = hb.free_map_slots
         free_reduces = hb.free_reduce_slots
@@ -95,6 +95,8 @@ class LocalityAwareScheduler(Scheduler):
         # delay bound is measured in heartbeat exchanges.
         for jid in declined:
             self._skips[jid] = self._skips.get(jid, 0) + 1
+        if declined:
+            self._bump_counter("delay_waits", len(declined))
         return batch.choices
 
     @staticmethod

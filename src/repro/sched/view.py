@@ -21,6 +21,19 @@ Invariants (see ``docs/SCHEDULING.md``):
 - ``jobs()`` yields RUNNING jobs in ascending ``job_id`` (= submission)
   order; ``pending_maps``/``pending_reduces`` preserve JobTracker queue
   order. Both orders are part of the determinism contract.
+
+Maintenance is *incremental*: the view caches its JobView list, the
+TrackerView table, and each job's pending-queue tuples against epoch
+counters the JobTracker bumps on the corresponding mutations
+(``_jobs_epoch`` for job set/state changes, ``_membership_epoch`` for
+tracker join/loss, ``_queue_epochs`` for queue edits). An ``assign``
+call against unchanged state therefore costs O(1) in view refresh work
+— O(changed) overall — instead of rebuilding an O(trackers x jobs)
+snapshot per heartbeat exchange. The caches are value-transparent: a
+policy cannot distinguish a cached view from a freshly built one.
+Anything that mutates tracker capabilities mid-run (hardware, slots,
+speed factor) must bump ``JobTracker._membership_epoch``; the built-in
+mutators (register/loss) already do.
 """
 
 from __future__ import annotations
@@ -96,14 +109,20 @@ class JobView:
 
     Wraps the live :class:`~repro.hadoop.job.Job` plus the JobTracker's
     queue/attempt bookkeeping. Accessors return copies or plain values;
-    the underlying record is never handed out.
+    the underlying record is never handed out. Instances are cached and
+    reused across heartbeat exchanges by :class:`ClusterView`, so the
+    pending-queue tuples below are memoized against the JobTracker's
+    per-job queue epoch — an unchanged queue is never re-copied.
     """
 
-    __slots__ = ("_job", "_jt")
+    __slots__ = ("_job", "_jt", "_queue_epoch", "_pending_maps", "_pending_reduces")
 
     def __init__(self, job, jt: "JobTracker"):
         self._job = job
         self._jt = jt
+        self._queue_epoch = -1
+        self._pending_maps: tuple[int, ...] = ()
+        self._pending_reduces: tuple[int, ...] = ()
 
     # -- identity / configuration -----------------------------------------
     @property
@@ -139,15 +158,25 @@ class JobView:
         return self._job.submit_time
 
     # -- queues -------------------------------------------------------------
+    def _refresh_queues(self) -> None:
+        jid = self._job.job_id
+        epoch = self._jt._queue_epochs.get(jid, 0)
+        if epoch != self._queue_epoch:
+            self._pending_maps = tuple(self._jt._pending_maps.get(jid, ()))
+            self._pending_reduces = tuple(self._jt._pending_reduces.get(jid, ()))
+            self._queue_epoch = epoch
+
     @property
     def pending_maps(self) -> tuple[int, ...]:
         """Unassigned map task ids, in JobTracker queue order."""
-        return tuple(self._jt._pending_maps.get(self._job.job_id, ()))
+        self._refresh_queues()
+        return self._pending_maps
 
     @property
     def pending_reduces(self) -> tuple[int, ...]:
         """Unassigned reduce task ids, in JobTracker queue order."""
-        return tuple(self._jt._pending_reduces.get(self._job.job_id, ()))
+        self._refresh_queues()
+        return self._pending_reduces
 
     @property
     def num_maps(self) -> int:
@@ -195,10 +224,25 @@ class JobView:
 
 
 class ClusterView:
-    """The live JobTracker seen through a policy-safe, read-only lens."""
+    """The live JobTracker seen through a policy-safe, read-only lens.
+
+    One instance lives for the whole cluster; its JobView list, the
+    TrackerView table, and the membership aggregates (slot totals,
+    capability flags) are rebuilt only when the JobTracker's epoch
+    counters say the underlying state changed.
+    """
 
     def __init__(self, jt: "JobTracker"):
         self._jt = jt
+        self._jobs_epoch = -1
+        self._jobs_cache: list[JobView] = []
+        self._job_views: dict[int, JobView] = {}
+        self._members_epoch = -1
+        self._tracker_views: dict[int, TrackerView] = {}
+        self._trackers_cache: list[TrackerView] = []
+        self._total_map_slots = 0
+        self._any_cells = False
+        self._any_gpus = False
 
     @property
     def now(self) -> float:
@@ -209,45 +253,86 @@ class ClusterView:
         """The (frozen) calibration profile: slot speeds per backend."""
         return self._jt.calib
 
+    @property
+    def membership_epoch(self) -> int:
+        """Monotone counter bumped on tracker join/loss — a cheap
+        memoization key for policies whose derived state depends only
+        on the tracker set (see the accel policy)."""
+        return self._jt._membership_epoch
+
     def jobs(self) -> list[JobView]:
         """RUNNING jobs in ascending job-id (submission) order."""
         jt = self._jt
-        return [
-            JobView(jt._jobs[jid], jt)
-            for jid in sorted(jt._jobs)
-            if jt._jobs[jid].state is JobState.RUNNING
-        ]
+        if self._jobs_epoch != jt._jobs_epoch:
+            views = self._job_views
+            cache = []
+            for jid in sorted(jt._jobs):
+                job = jt._jobs[jid]
+                if job.state is not JobState.RUNNING:
+                    continue
+                view = views.get(jid)
+                if view is None:
+                    view = views[jid] = JobView(job, jt)
+                cache.append(view)
+            self._jobs_cache = cache
+            self._jobs_epoch = jt._jobs_epoch
+        return list(self._jobs_cache)
+
+    def _refresh_trackers(self) -> None:
+        jt = self._jt
+        if self._members_epoch == jt._membership_epoch:
+            return
+        table: dict[int, TrackerView] = {}
+        for tid in sorted(jt._trackers):
+            tt = jt._trackers[tid]
+            node = tt.node
+            table[tid] = TrackerView(
+                tracker_id=tid,
+                has_cells=bool(node.cells),
+                has_gpus=bool(node.gpus),
+                speed_factor=node.speed_factor,
+                map_slots=tt.map_slots,
+                reduce_slots=tt.reduce_slots,
+            )
+        self._tracker_views = table
+        self._trackers_cache = list(table.values())
+        self._total_map_slots = sum(t.map_slots for t in self._trackers_cache)
+        self._any_cells = any(t.has_cells for t in self._trackers_cache)
+        self._any_gpus = any(t.has_gpus for t in self._trackers_cache)
+        self._members_epoch = jt._membership_epoch
 
     def tracker(self, tracker_id: int) -> TrackerView:
-        tt = self._jt._trackers.get(tracker_id)
-        if tt is None:
+        self._refresh_trackers()
+        view = self._tracker_views.get(tracker_id)
+        if view is None:
             # A heartbeat can race a loss declaration (the report was
             # queued before the timeout fired): give affinity policies a
             # capability-less default instead of a KeyError.
             return TrackerView(tracker_id)
-        node = tt.node
-        return TrackerView(
-            tracker_id=tracker_id,
-            has_cells=bool(node.cells),
-            has_gpus=bool(node.gpus),
-            speed_factor=node.speed_factor,
-            map_slots=tt.map_slots,
-            reduce_slots=tt.reduce_slots,
-        )
+        return view
 
     def trackers(self) -> list[TrackerView]:
         """All live trackers, ascending tracker id."""
-        return [self.tracker(tid) for tid in sorted(self._jt._trackers)]
+        self._refresh_trackers()
+        return list(self._trackers_cache)
+
+    @property
+    def tracker_count(self) -> int:
+        """Live tracker count without materializing the view list."""
+        return len(self._jt._trackers)
 
     @property
     def total_map_slots(self) -> int:
-        return sum(t.map_slots for t in self.trackers())
+        self._refresh_trackers()
+        return self._total_map_slots
 
     def any_tracker_with_cells(self) -> bool:
-        return any(bool(t.node.cells) for t in self._jt._trackers.values())
+        self._refresh_trackers()
+        return self._any_cells
 
     def any_tracker_with_gpus(self) -> bool:
-        return any(bool(t.node.gpus) for t in self._jt._trackers.values())
+        self._refresh_trackers()
+        return self._any_gpus
 
 
 class SyntheticJob:
@@ -345,6 +430,10 @@ class SyntheticView:
 
     def trackers(self) -> list[TrackerView]:
         return [self._trackers[tid] for tid in sorted(self._trackers)]
+
+    @property
+    def tracker_count(self) -> int:
+        return len(self._trackers)
 
     @property
     def total_map_slots(self) -> int:

@@ -41,6 +41,10 @@ CASES = {
     "fig8": {"nodes": [2, 4], "samples": 1e9},
     "multijob": {"num_jobs": [2, 4], "nodes": 2},
     "sched_compare": {"nodes": [2, 4]},
+    # The cluster-scale family's paper-sized grid (256-1024 nodes) is
+    # `-m sweep` territory; this reduced weak-scaling slice still runs
+    # every policy under multi-job contention.
+    "scale": {"nodes": [16, 32], "num_jobs": 3},
 }
 
 FIGS = sorted(CASES)

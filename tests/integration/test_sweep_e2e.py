@@ -63,3 +63,18 @@ def test_cli_sweep_full_fig7_matches_serial(tmp_path):
     j1 = (tmp_path / "w1" / "fig7.json").read_bytes()
     j4 = (tmp_path / "w4" / "fig7.json").read_bytes()
     assert j1 == j4
+
+
+def test_scale_scenario_cluster_sized_point(tmp_path):
+    """`repro sweep scale` at a genuinely cluster-scale point (256
+    worker blades, every policy), byte-identical across worker counts.
+    The full 256/512/1024 grid is CLI territory; one 256-node point
+    keeps this job inside the sweep budget while still exercising the
+    event-thin protocol at 4x the paper's largest cluster."""
+    serial = run_sweep("scale", {"nodes": [256]}, workers=1)
+    parallel = run_sweep("scale", {"nodes": [256]}, workers=2)
+    assert serial.canonical_json() == parallel.canonical_json()
+    assert len(serial.series) == 4  # every placement policy
+    assert all(all(y > 0 for y in s.ys) for s in serial.series)
+    paths = save_sweep(serial, tmp_path)
+    assert paths["json"].exists() and paths["csv"].exists()
