@@ -13,6 +13,7 @@ from repro.analysis.report import (
     format_table,
     paper_comparison_rows,
     sweep_summary,
+    sweep_timing_table,
 )
 
 __all__ = [
@@ -27,4 +28,5 @@ __all__ = [
     "ratio_between",
     "scaling_efficiency",
     "sweep_summary",
+    "sweep_timing_table",
 ]

@@ -18,6 +18,7 @@ __all__ = [
     "paper_comparison_rows",
     "series_table",
     "sweep_summary",
+    "sweep_timing_table",
 ]
 
 
@@ -124,6 +125,42 @@ def decision_counters_table(
             row[key] = counters.get(key, 0)
         rows.append(row)
     return format_table(rows)
+
+
+def sweep_timing_table(points: Sequence[Mapping[str, Any]], top: int = 0) -> str:
+    """Per-point wall-clock table for a finished sweep, slowest first.
+
+    ``points`` is ``SweepResult.points``: executed rows carry a
+    non-canonical ``elapsed_s``, cache-assembled rows a ``cached``
+    marker. Executed points sort by elapsed time descending (the
+    stragglers the cost-aware dispatcher exists to front-load), cached
+    points trail. ``top`` > 0 truncates to the slowest N executed
+    points plus a one-line cached summary.
+    """
+    if not points:
+        return "(no points)"
+    executed = [p for p in points if p.get("elapsed_s") is not None]
+    cached = len(points) - len(executed)
+    executed.sort(key=lambda p: p["elapsed_s"], reverse=True)
+    shown = executed[:top] if top > 0 else executed
+    total = sum(p["elapsed_s"] for p in executed)
+    rows = [
+        {
+            "point": ", ".join(f"{k}={_fmt(v)}" for k, v in p["params"].items()),
+            "elapsed_s": p["elapsed_s"],
+            "share": f"{100 * p['elapsed_s'] / total:.1f}%" if total else "-",
+        }
+        for p in shown
+    ]
+    if not rows:
+        return f"(all {cached} point(s) assembled from cache)"
+    table = format_table(rows, columns=["point", "elapsed_s", "share"])
+    trailer = []
+    if top > 0 and len(executed) > top:
+        trailer.append(f"(+{len(executed) - top} faster executed point(s))")
+    if cached:
+        trailer.append(f"(+{cached} point(s) assembled from cache)")
+    return "\n".join([table, *trailer])
 
 
 def paper_comparison_rows(

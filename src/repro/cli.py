@@ -8,8 +8,11 @@ Run paper experiments and ad-hoc jobs without writing code::
     python -m repro scenarios                # list every registered sweep
     python -m repro schedulers               # list placement policies
     python -m repro sweep gpu --grid nodes=2,4,8 --workers 4
-    python -m repro sweep fig8 --cache       # reuse cached identical runs
+    python -m repro sweep fig8 --cache       # whole-sweep + per-point cache
     python -m repro sweep fig8 --compare results/old   # drift report
+    python -m repro sweep scale --shard 0/4 --out shards/s0  # one host's part
+    python -m repro sweep --merge shards/s0 shards/s1 shards/s2 shards/s3
+    python -m repro sweep --cache-prune --max-age-days 30
     python -m repro encrypt --nodes 16 --data-gb 32 --backend cell
     python -m repro pi --nodes 50 --samples 3e12 --backend java
     python -m repro multijob --nodes 8 --jobs 4 --scheduler fair
@@ -29,7 +32,7 @@ import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
-from repro.analysis import Series, ascii_chart, sweep_summary
+from repro.analysis import Series, ascii_chart, sweep_summary, sweep_timing_table
 from repro.analysis.report import decision_counters_table, format_table, series_table
 from repro.experiments import (
     GridError,
@@ -125,7 +128,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="run any registered scenario's parameter grid",
         epilog=EPILOG,
     )
-    ps.add_argument("scenario", help="registered scenario name (see `repro scenarios`)")
+    ps.add_argument("scenario", nargs="?", default=None,
+                    help="registered scenario name (see `repro scenarios`); "
+                         "optional with --merge / --cache-prune")
     ps.add_argument("--grid", action="append", default=[], metavar="KEY=V1,V2,...",
                     help="override a grid parameter's values or a fixed "
                          "parameter's value; repeatable")
@@ -133,11 +138,29 @@ def build_parser() -> argparse.ArgumentParser:
                     help="results directory (default: results/)")
     ps.add_argument("--no-save", action="store_true",
                     help="print only; skip writing JSON/CSV results")
+    ps.add_argument("-v", "--verbose", action="store_true",
+                    help="also print the per-point timing table "
+                         "(stragglers first)")
     ps.add_argument("--cache", action="store_true",
-                    help="reuse a cached result when an identical sweep "
-                         "(scenario+grid+seed+engine+model+calibration) already ran")
+                    help="reuse cached results: whole-sweep on an identical "
+                         "request, per-point otherwise (only changed grid "
+                         "points re-run)")
     ps.add_argument("--cache-dir", type=Path, default=None, metavar="DIR",
                     help="cache directory (default: <out>/.cache)")
+    ps.add_argument("--cache-prune", action="store_true",
+                    help="prune the cache directory instead of sweeping "
+                         "(see --max-age-days / --max-bytes)")
+    ps.add_argument("--max-age-days", type=float, default=None, metavar="D",
+                    help="with --cache-prune: drop entries older than D days")
+    ps.add_argument("--max-bytes", type=int, default=None, metavar="B",
+                    help="with --cache-prune: drop oldest entries until the "
+                         "cache fits in B bytes")
+    ps.add_argument("--shard", default=None, metavar="I/N",
+                    help="run only shard I of N (deterministic round-robin "
+                         "partition) and write a shard manifest to --out")
+    ps.add_argument("--merge", type=Path, nargs="+", default=None, metavar="DIR",
+                    help="merge shard manifests from DIR... into one result, "
+                         "byte-identical to a serial run")
     ps.add_argument("--compare", type=Path, default=None, metavar="DIR",
                     help="diff the fresh series against <DIR>/<scenario>.json "
                          "and exit non-zero on drift")
@@ -267,35 +290,95 @@ def _cmd_fig(args, out) -> int:
 
 
 def _cmd_sweep(args, out) -> int:
-    # Usage errors (unknown scenario, malformed/unknown grid values) get
-    # a friendly message + exit 2; failures inside a running scenario
-    # propagate with their traceback.
-    from repro.experiments.cache import cached_sweep
+    # Usage errors (unknown scenario, malformed/unknown grid values or
+    # shard specs, inconsistent shard sets) get a friendly message +
+    # exit 2; failures inside a running scenario propagate with their
+    # traceback.
+    from repro.experiments.cache import cached_sweep, prune_cache
     from repro.experiments.compare import compare_result_to_dir
+    from repro.experiments.shard import (
+        ShardError,
+        merge_shards,
+        parse_shard_spec,
+        run_shard,
+        write_shard,
+    )
 
-    try:
-        overrides = parse_grid_overrides(args.grid)
-        scenario = get_scenario(args.scenario).with_overrides(
-            overrides, seed=args.seed
-        )
-    except (GridError, KeyError) as exc:
-        msg = exc.args[0] if exc.args else str(exc)
-        print(f"error: {msg}", file=out)
+    cache_dir = args.cache_dir if args.cache_dir is not None else args.out / ".cache"
+    if args.cache_prune:
+        stats = prune_cache(cache_dir, max_age_days=args.max_age_days,
+                            max_bytes=args.max_bytes)
+        print(f"cache prune ({cache_dir}): removed {stats.removed}/"
+              f"{stats.scanned} entries ({stats.freed_bytes} bytes freed), "
+              f"{stats.kept} kept ({stats.kept_bytes} bytes)", file=out)
+        return 0
+    if args.shard is not None and args.merge is not None:
+        print("error: --shard runs one partition, --merge reassembles "
+              "finished ones; use one at a time", file=out)
         return 2
-    if args.cache:
-        cache_dir = args.cache_dir if args.cache_dir is not None else args.out / ".cache"
-        result, hit = cached_sweep(scenario, workers=args.workers,
-                                   cache_dir=cache_dir)
-        if hit:
-            print(f"cache hit ({cache_dir}): reusing stored series", file=out)
+    if args.shard is not None and (args.compare or args.cache or args.no_save):
+        # Refuse rather than silently ignore: a shard produces a partial
+        # manifest, so there is nothing to compare/cache, and writing
+        # the manifest is its entire purpose.
+        print("error: --shard only writes a shard manifest; --compare/"
+              "--cache/--no-save apply to full sweeps or --merge", file=out)
+        return 2
+
+    if args.merge is not None:
+        try:
+            result = merge_shards(args.merge)
+        except ShardError as exc:
+            print(f"error: {exc}", file=out)
+            return 2
+        print(f"merged {len(args.merge)} shard dir(s) into "
+              f"{result.scenario}: {len(result.points)} points", file=out)
     else:
-        result = run_sweep(scenario, workers=args.workers)
+        if args.scenario is None:
+            print("error: a scenario name is required unless --merge or "
+                  "--cache-prune is given (see `repro scenarios`)", file=out)
+            return 2
+        try:
+            overrides = parse_grid_overrides(args.grid)
+            scenario = get_scenario(args.scenario).with_overrides(
+                overrides, seed=args.seed
+            )
+            if args.shard is not None:
+                index, count = parse_shard_spec(args.shard)
+        except (GridError, KeyError, ShardError) as exc:
+            msg = exc.args[0] if exc.args else str(exc)
+            print(f"error: {msg}", file=out)
+            return 2
+        if args.shard is not None:
+            manifest = run_shard(scenario, index, count, workers=args.workers)
+            path = write_shard(manifest, args.out)
+            print(f"shard {index}/{count} of {scenario.name}: ran "
+                  f"{len(manifest['point_indices'])} of "
+                  f"{len(scenario.points())} points in "
+                  f"{manifest['elapsed_s']:.2f}s, wrote {path}", file=out)
+            print("merge a complete set with: repro sweep --merge DIR...",
+                  file=out)
+            return 0
+        if args.cache:
+            result, hit = cached_sweep(scenario, workers=args.workers,
+                                       cache_dir=cache_dir)
+            if hit:
+                print(f"cache hit ({cache_dir}): reusing stored series", file=out)
+            elif result.cached_points:
+                print(f"point cache ({cache_dir}): {result.executed_points} "
+                      f"point(s) ran, {result.cached_points} assembled from "
+                      f"cache", file=out)
+        else:
+            result = run_sweep(scenario, workers=args.workers)
     _print_series(result.series, result.xlabel, result.ylabel, result.title, out)
     print(file=out)
     print(sweep_summary(result.series, x_name=result.xlabel), file=out)
+    if args.verbose:
+        print(file=out)
+        print(sweep_timing_table(result.points), file=out)
     print(file=out)
+    method = f", {result.start_method} pool" if result.start_method else ""
     print(f"sweep {result.scenario}: {len(result.points)} points, "
-          f"{result.workers} worker(s), {result.elapsed_s:.2f}s, "
+          f"{result.workers} worker(s){method}, {result.elapsed_s:.2f}s, "
           f"sha256 {result.sha256()[:16]}", file=out)
     if not args.no_save:
         paths = save_sweep(result, args.out)

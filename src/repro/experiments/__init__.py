@@ -10,17 +10,34 @@ Public surface:
   figures and extension studies live in.
 - :func:`~repro.experiments.driver.run_sweep` — fan a grid across
   workers and aggregate deterministically (byte-identical to serial).
+- :class:`~repro.experiments.pool.SweepPool` /
+  :func:`~repro.experiments.pool.shared_pool` — persistent worker pools
+  that amortize fork cost across sweeps (``REPRO_SWEEP_START_METHOD``
+  overrides the start method).
+- :func:`~repro.experiments.cache.cached_sweep` — whole-sweep *and*
+  per-point result caching; incremental re-sweeps after grid tweaks.
+- :func:`~repro.experiments.shard.run_shard` /
+  :func:`~repro.experiments.shard.merge_shards` — cross-host sharded
+  sweeps that merge byte-identically to a serial run.
 - :func:`~repro.experiments.persistence.save_sweep` — JSON/CSV under
   ``results/``.
 
-See ``docs/EXPERIMENTS.md`` for the determinism contract and how to add
-a scenario.
+See ``docs/EXPERIMENTS.md`` for the determinism contract, the
+sweeps-at-scale machinery, and how to add a scenario.
 """
 
-from repro.experiments.cache import cached_sweep, request_key
+from repro.experiments.cache import (
+    PointCache,
+    TimingStore,
+    cached_sweep,
+    point_key,
+    prune_cache,
+    request_key,
+)
 from repro.experiments.compare import DriftReport, compare_result_to_dir
 from repro.experiments.driver import SweepResult, run_sweep
 from repro.experiments.persistence import DEFAULT_RESULTS_DIR, save_sweep, sweep_csv
+from repro.experiments.pool import SweepPool, close_shared_pools, shared_pool
 from repro.experiments.registry import (
     all_scenarios,
     get_scenario,
@@ -28,22 +45,43 @@ from repro.experiments.registry import (
     scenario_names,
 )
 from repro.experiments.scenario import GridError, Scenario, parse_grid_overrides
+from repro.experiments.shard import (
+    ShardError,
+    merge_shards,
+    parse_shard_spec,
+    run_shard,
+    shard_indices,
+    write_shard,
+)
 
 __all__ = [
     "DEFAULT_RESULTS_DIR",
     "DriftReport",
     "GridError",
+    "PointCache",
     "Scenario",
+    "ShardError",
+    "SweepPool",
     "SweepResult",
+    "TimingStore",
     "all_scenarios",
     "cached_sweep",
+    "close_shared_pools",
     "compare_result_to_dir",
     "get_scenario",
+    "merge_shards",
     "parse_grid_overrides",
+    "parse_shard_spec",
+    "point_key",
+    "prune_cache",
     "register",
     "request_key",
+    "run_shard",
     "run_sweep",
     "save_sweep",
     "scenario_names",
+    "shard_indices",
+    "shared_pool",
     "sweep_csv",
+    "write_shard",
 ]

@@ -1,4 +1,4 @@
-"""Scenario-level result caching.
+"""Sweep result caching: whole-sweep entries plus per-point entries.
 
 A sweep is a pure function of its *request*: the scenario definition
 (grid, defaults, curves, seed), the engine mode, the model-protocol
@@ -14,32 +14,65 @@ model code, clear the cache directory (or commit) before trusting a
 hit. Worker count is deliberately *not* part of the key: the driver's
 determinism contract makes results byte-identical at any parallelism.
 
-Entries are one JSON file each under the cache directory,
-``<scenario>-<key16>.json``, holding the request key and the full
-canonical result. A hit reconstructs the :class:`SweepResult` without
-running a single simulation; a corrupt or mismatched entry is treated
-as a miss and overwritten.
+The same purity holds one level down: **each grid point** is a pure
+function of its fully-bound ``cfg`` (plus modes/calibration/code), so
+:func:`point_key` keys single points and :class:`PointCache` stores
+them individually under ``<cache_dir>/points/``. When a sweep's
+whole-request key misses but most of its points are unchanged — the
+typical "tweak one grid value / one default" iteration — the driver
+executes only the missing points and assembles the rest from cache.
+
+Two more files live next to the entries:
+
+- ``timings.json`` (:class:`TimingStore`) — recorded per-point
+  ``elapsed_s`` from prior runs; purely advisory, used to dispatch
+  pending points longest-first so wide pools do not end on a straggler.
+- nothing else: :func:`prune_cache` (``repro sweep --cache-prune``)
+  deletes whole-sweep and point entries by age and/or total size,
+  oldest first, and leaves ``timings.json`` alone.
+
+Entries are one JSON file each, ``<scenario>-<key16>.json``, holding
+the full key and the canonical payload. A hit reconstructs the result
+without running a single simulation; a corrupt or mismatched entry is
+treated as a miss and overwritten.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import time
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Optional, Union
+from typing import Any, Mapping, Optional, Union
 
 import repro.modelmode as modelmode
 import repro.sim.engine as engine
 from repro.analysis.series import Series
 from repro.experiments.driver import SweepResult, run_sweep
+from repro.experiments.pool import SweepPool
 from repro.experiments.registry import get_scenario
 from repro.experiments.scenario import Scenario
 from repro.perf.calibration import PAPER_CALIBRATION
 
-__all__ = ["cache_path", "cached_sweep", "load_cached", "request_key", "store_cached"]
+__all__ = [
+    "PointCache",
+    "PruneStats",
+    "TimingStore",
+    "cache_path",
+    "cached_sweep",
+    "load_cached",
+    "point_key",
+    "prune_cache",
+    "request_key",
+    "store_cached",
+]
 
 _FORMAT = 1
-"""Cache schema version; bump to invalidate every stored entry."""
+"""Whole-sweep cache schema version; bump to invalidate stored entries."""
+
+_POINT_FORMAT = 1
+"""Per-point cache schema version."""
 
 
 def _code_version() -> Optional[str]:
@@ -70,11 +103,22 @@ def _code_version() -> Optional[str]:
     return None
 
 
-def request_key(scenario: Scenario, reference: Optional[bool] = None) -> str:
+def _hash_request(request: dict[str, Any]) -> str:
+    blob = json.dumps(request, sort_keys=True, separators=(",", ":"), default=repr)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def request_key(
+    scenario: Scenario,
+    reference: Optional[bool] = None,
+    model_reference: Optional[bool] = None,
+) -> str:
     """sha256 over everything that determines a sweep's bytes."""
     if reference is None:
         reference = engine.REFERENCE_MODE
-    request = {
+    if model_reference is None:
+        model_reference = modelmode.REFERENCE_MODE
+    return _hash_request({
         "format": _FORMAT,
         "code_version": _code_version(),
         "scenario": scenario.name,
@@ -84,11 +128,38 @@ def request_key(scenario: Scenario, reference: Optional[bool] = None) -> str:
         "x": scenario.x,
         "curves": list(scenario.curves),
         "reference_engine": bool(reference),
-        "reference_model": bool(modelmode.REFERENCE_MODE),
+        "reference_model": bool(model_reference),
         "calibration": PAPER_CALIBRATION.to_dict(),
-    }
-    blob = json.dumps(request, sort_keys=True, separators=(",", ":"), default=repr)
-    return hashlib.sha256(blob.encode()).hexdigest()
+    })
+
+
+def point_key(
+    scenario: Scenario,
+    cfg: Mapping[str, Any],
+    reference: Optional[bool] = None,
+    model_reference: Optional[bool] = None,
+) -> str:
+    """sha256 over everything that determines one grid point's values.
+
+    The fully-bound ``cfg`` already carries every grid value, every
+    default, and the seed, so grid *membership* is deliberately absent:
+    adding or removing neighbors never invalidates a point, which is
+    exactly what makes incremental re-sweeps possible.
+    """
+    if reference is None:
+        reference = engine.REFERENCE_MODE
+    if model_reference is None:
+        model_reference = modelmode.REFERENCE_MODE
+    return _hash_request({
+        "format": _POINT_FORMAT,
+        "code_version": _code_version(),
+        "scenario": scenario.name,
+        "cfg": dict(cfg),
+        "curves": list(scenario.curves),
+        "reference_engine": bool(reference),
+        "reference_model": bool(model_reference),
+        "calibration": PAPER_CALIBRATION.to_dict(),
+    })
 
 
 def cache_path(cache_dir: Path, scenario: Union[str, Scenario], key: str) -> Path:
@@ -122,6 +193,7 @@ def load_cached(cache_dir: Path, scenario: Scenario, key: str) -> Optional[Sweep
 
 
 def _result_from_dict(d: dict[str, Any]) -> SweepResult:
+    points = list(d["points"])
     return SweepResult(
         scenario=d["scenario"],
         title=d["title"],
@@ -131,14 +203,216 @@ def _result_from_dict(d: dict[str, Any]) -> SweepResult:
         ylabel=d["ylabel"],
         grid={k: list(v) for k, v in d["grid"].items()},
         defaults=dict(d["defaults"]),
-        points=list(d["points"]),
+        points=points,
         series=[
             Series(label=s["label"], xs=list(s["xs"]), ys=list(s["ys"]))
             for s in d["series"]
         ],
         workers=0,  # nothing ran
         elapsed_s=0.0,
+        executed_points=0,
+        cached_points=len(points),
     )
+
+
+class PointCache:
+    """Per-point result entries under ``<cache_dir>/points/``.
+
+    One small JSON file per grid point, named by scenario plus the
+    first 16 hex chars of the :func:`point_key`; the full key stored
+    inside guards against prefix collisions. Values round-trip through
+    JSON, which serializes floats at full ``repr`` precision — a
+    cache-assembled sweep is byte-identical to a fresh one.
+    """
+
+    def __init__(self, cache_dir: Path):
+        self.dir = Path(cache_dir) / "points"
+
+    def lookup(
+        self,
+        scenario: Scenario,
+        cfg: Mapping[str, Any],
+        reference: Optional[bool] = None,
+        model_reference: Optional[bool] = None,
+    ) -> tuple[str, Optional[dict[str, float]]]:
+        """``(key, stored values or None)`` for one bound point."""
+        key = point_key(scenario, cfg, reference, model_reference)
+        return key, self.get(scenario.name, key)
+
+    def _path(self, name: str, key: str) -> Path:
+        return self.dir / f"{name}-{key[:16]}.json"
+
+    def get(self, name: str, key: str) -> Optional[dict[str, float]]:
+        path = self._path(name, key)
+        if not path.exists():
+            return None
+        try:
+            entry = json.loads(path.read_text())
+            if entry.get("format") != _POINT_FORMAT or entry.get("key") != key:
+                return None
+            values = entry["values"]
+            return dict(values) if isinstance(values, dict) else None
+        except (ValueError, KeyError, TypeError):
+            return None  # unreadable entry == miss; the rerun overwrites it
+
+    def store(self, name: str, key: str, values: Mapping[str, float]) -> Path:
+        path = self._path(name, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "format": _POINT_FORMAT,
+            "key": key,
+            "scenario": name,
+            "values": dict(values),
+        }
+        path.write_text(json.dumps(entry, sort_keys=True, indent=2) + "\n")
+        return path
+
+
+class TimingStore:
+    """Recorded per-point ``elapsed_s`` from prior runs, persisted as
+    ``<cache_dir>/timings.json``.
+
+    Purely advisory — never part of any cache key or canonical byte —
+    so its key deliberately *excludes* the code version and calibration:
+    a commit does not change how long a point roughly takes, and a
+    stale estimate only costs dispatch-order quality, never
+    correctness. Engine/model modes are included (the reference loops
+    are much slower). Entries are keyed by the first 16 hex chars and
+    capped at ``max_entries``, evicting least-recently-updated first.
+    """
+
+    def __init__(self, cache_dir: Path, max_entries: int = 10_000):
+        self.path = Path(cache_dir) / "timings.json"
+        self.max_entries = max_entries
+        self._data: Optional[dict[str, float]] = None
+        self._dirty = False
+
+    def key(
+        self,
+        scenario: Scenario,
+        cfg: Mapping[str, Any],
+        reference: Optional[bool] = None,
+        model_reference: Optional[bool] = None,
+    ) -> str:
+        if reference is None:
+            reference = engine.REFERENCE_MODE
+        if model_reference is None:
+            model_reference = modelmode.REFERENCE_MODE
+        return _hash_request({
+            "scenario": scenario.name,
+            "cfg": dict(cfg),
+            "reference_engine": bool(reference),
+            "reference_model": bool(model_reference),
+        })
+
+    def _load(self) -> dict[str, float]:
+        if self._data is None:
+            try:
+                raw = json.loads(self.path.read_text())
+                data = raw["elapsed_s"] if raw.get("format") == 1 else {}
+                self._data = {
+                    str(k): float(v) for k, v in data.items()
+                } if isinstance(data, dict) else {}
+            except (OSError, ValueError, KeyError, TypeError):
+                self._data = {}
+        return self._data
+
+    def estimate(self, key: str) -> Optional[float]:
+        return self._load().get(key[:16])
+
+    def record(self, key: str, elapsed_s: Optional[float]) -> None:
+        if elapsed_s is None:
+            return
+        data = self._load()
+        data.pop(key[:16], None)  # re-insert at the end: LRU-by-update
+        data[key[:16]] = round(float(elapsed_s), 6)
+        self._dirty = True
+
+    def flush(self) -> None:
+        if not self._dirty:
+            return
+        data = self._load()
+        if len(data) > self.max_entries:
+            for stale in list(data)[: len(data) - self.max_entries]:
+                del data[stale]
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        # No sort_keys: JSON objects round-trip in insertion order, and
+        # insertion order *is* the recency order the cap evicts by —
+        # sorting here would reset eviction to alphabetical on reload.
+        self.path.write_text(
+            json.dumps({"format": 1, "elapsed_s": data}, indent=2) + "\n"
+        )
+        self._dirty = False
+
+
+@dataclass
+class PruneStats:
+    """What one :func:`prune_cache` pass did."""
+
+    scanned: int = 0
+    removed: int = 0
+    freed_bytes: int = 0
+    kept: int = 0
+    kept_bytes: int = 0
+
+
+def prune_cache(
+    cache_dir: Path,
+    max_age_days: Optional[float] = None,
+    max_bytes: Optional[int] = None,
+    now: Optional[float] = None,
+) -> PruneStats:
+    """Delete cache entries by age and/or total size (oldest first).
+
+    Covers whole-sweep entries in ``cache_dir`` and point entries in
+    ``cache_dir/points``; the advisory ``timings.json`` is exempt (it
+    is one bounded file, and losing it costs dispatch quality, not
+    space). With ``max_age_days``, entries whose mtime is older are
+    removed; with ``max_bytes``, the oldest entries are removed until
+    the survivors fit. With neither, nothing is removed (the stats
+    still report the current entry count and footprint).
+    """
+    cache_dir = Path(cache_dir)
+    now = time.time() if now is None else now
+    entries: list[tuple[float, int, Path]] = []
+    for root in (cache_dir, cache_dir / "points"):
+        if not root.is_dir():
+            continue
+        for path in sorted(root.glob("*.json")):
+            if path == cache_dir / "timings.json":
+                continue
+            try:
+                st = path.stat()
+            except OSError:
+                continue
+            entries.append((st.st_mtime, st.st_size, path))
+
+    stats = PruneStats(scanned=len(entries))
+    survivors: list[tuple[float, int, Path]] = []
+    for mtime, size, path in entries:
+        if max_age_days is not None and now - mtime > max_age_days * 86_400:
+            _remove(path, size, stats)
+        else:
+            survivors.append((mtime, size, path))
+    if max_bytes is not None:
+        survivors.sort()  # oldest first
+        total = sum(size for _, size, _ in survivors)
+        while survivors and total > max_bytes:
+            _, size, path = survivors.pop(0)
+            _remove(path, size, stats)
+            total -= size
+    stats.kept = len(survivors)
+    stats.kept_bytes = sum(size for _, size, _ in survivors)
+    return stats
+
+
+def _remove(path: Path, size: int, stats: PruneStats) -> None:
+    try:
+        path.unlink()
+    except OSError:
+        return
+    stats.removed += 1
+    stats.freed_bytes += size
 
 
 def cached_sweep(
@@ -147,8 +421,16 @@ def cached_sweep(
     workers: int = 1,
     cache_dir: Path,
     seed: Optional[int] = None,
+    pool: Optional[SweepPool] = None,
 ) -> tuple[SweepResult, bool]:
-    """``run_sweep`` behind the cache: returns ``(result, was_hit)``."""
+    """``run_sweep`` behind the cache: returns ``(result, was_hit)``.
+
+    ``was_hit`` reports a **whole-sweep** hit (nothing ran at all).
+    On a whole-sweep miss the run still goes through the point cache,
+    so only points whose individual keys miss actually execute — check
+    ``result.executed_points`` / ``result.cached_points`` for the
+    split — and recorded point timings order the dispatch.
+    """
     sc = get_scenario(scenario) if isinstance(scenario, str) else scenario
     if seed is not None:
         sc = sc.with_overrides(None, seed=seed)
@@ -156,6 +438,12 @@ def cached_sweep(
     cached = load_cached(cache_dir, sc, key)
     if cached is not None:
         return cached, True
-    result = run_sweep(sc, workers=workers)
+    result = run_sweep(
+        sc,
+        workers=workers,
+        pool=pool,
+        point_cache=PointCache(cache_dir),
+        timings=TimingStore(cache_dir),
+    )
     store_cached(result, cache_dir, key)
     return result, False

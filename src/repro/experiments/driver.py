@@ -5,20 +5,34 @@ Fans a scenario's parameter grid out across ``multiprocessing`` workers
 fresh :class:`~repro.sim.engine.Environment` — streams results back as
 they finish, and reassembles them **in canonical grid order**, so the
 merged series are byte-identical to a serial run regardless of worker
-count or completion order. That is the determinism contract the
-golden-series tests pin down (see ``docs/EXPERIMENTS.md``).
+count, completion order, dispatch order, or caching. That is the
+determinism contract the golden-series tests pin down (see
+``docs/EXPERIMENTS.md``).
 
-Workers receive only ``(scenario_name, point_index, cfg, reference)``:
-the scenario is re-resolved from the registry on the worker side, and
-the parent's engine mode (fast vs. reference) is re-applied explicitly
-so sweeps behave identically under both loops and any start method.
+Workers receive only ``(scenario_name, point_index, cfg, reference,
+model_reference)``: the scenario is re-resolved from the registry on
+the worker side, and the parent's engine/model modes are re-applied
+explicitly so sweeps behave identically under both loops and any start
+method.
+
+Sweep-scale machinery layered on top (all byte-neutral):
+
+- **Persistent pools** — by default parallel sweeps run on a shared
+  :class:`~repro.experiments.pool.SweepPool` that survives across
+  sweeps, amortizing worker startup; pass ``pool=`` to control the
+  lifetime explicitly.
+- **Point-level caching** — pass ``point_cache=`` (see
+  ``experiments/cache.py``) and only grid points whose per-point key
+  misses are executed; the rest assemble from stored values.
+- **Cost-aware dispatch** — pass ``timings=`` and pending points are
+  dispatched longest-recorded-first (unknown points first), which kills
+  straggler tails on wide pools without touching result order.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-import multiprocessing
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Optional, Union
@@ -26,6 +40,7 @@ from typing import Any, Callable, Mapping, Optional, Union
 import repro.modelmode as modelmode
 import repro.sim.engine as engine
 from repro.analysis.series import Series
+from repro.experiments.pool import SweepPool, shared_pool
 from repro.experiments.registry import get_scenario
 from repro.experiments.scenario import Scenario
 
@@ -37,8 +52,12 @@ class SweepResult:
     """Everything one sweep produced, plus how it was produced.
 
     ``canonical_json`` covers only run-independent content (no worker
-    count, no wall-clock), which is what persistence writes and what the
-    byte-identity guarantees apply to.
+    count, no wall-clock, no per-point timing, no pool/cache metadata),
+    which is what persistence writes and what the byte-identity
+    guarantees apply to. Each ``points`` row always carries canonical
+    ``params``/``values``; executed points add a non-canonical
+    ``elapsed_s`` and cache-assembled points a non-canonical
+    ``cached`` marker — both stripped by :meth:`canonical_dict`.
     """
 
     scenario: str
@@ -53,6 +72,12 @@ class SweepResult:
     series: list[Series] = field(default_factory=list)
     workers: int = 1
     elapsed_s: float = 0.0
+    #: Multiprocessing start method the sweep actually used; None for
+    #: serial/in-process runs. Never part of the canonical bytes.
+    start_method: Optional[str] = None
+    #: How many grid points actually ran vs. came from the point cache.
+    executed_points: int = 0
+    cached_points: int = 0
 
     def canonical_dict(self) -> dict[str, Any]:
         return {
@@ -64,7 +89,12 @@ class SweepResult:
             "ylabel": self.ylabel,
             "grid": {k: list(v) for k, v in self.grid.items()},
             "defaults": dict(self.defaults),
-            "points": self.points,
+            # Strip run metadata (elapsed_s, cached) from the rows: the
+            # canonical bytes must not depend on timing or cache state.
+            "points": [
+                {"params": p["params"], "values": p["values"]}
+                for p in self.points
+            ],
             "series": [
                 {"label": s.label, "xs": s.xs, "ys": s.ys} for s in self.series
             ],
@@ -87,25 +117,64 @@ class SweepResult:
         return hashlib.sha256(self.canonical_json().encode()).hexdigest()
 
 
-def _run_point_task(task: tuple) -> tuple[int, dict[str, float]]:
-    """Worker-side: one grid point, resolved by scenario name."""
+def _run_point_task(task: tuple) -> tuple[int, dict[str, float], float]:
+    """Worker-side: one grid point, resolved by scenario name. Returns
+    ``(index, values, elapsed_s)`` so the parent can record per-point
+    cost for straggler reporting and future dispatch ordering."""
     name, idx, cfg, reference, model_reference = task
     prev = engine.set_reference_mode(reference)
     prev_model = modelmode.set_model_reference(model_reference)
+    t0 = time.perf_counter()
     try:
         scenario = get_scenario(name)
-        return idx, dict(scenario.run_point(cfg))
+        return idx, dict(scenario.run_point(cfg)), time.perf_counter() - t0
     finally:
         engine.set_reference_mode(prev)
         modelmode.set_model_reference(prev_model)
 
 
-def _pool_context() -> multiprocessing.context.BaseContext:
-    """Prefer fork (cheap, inherits the registry so test-registered
-    scenarios sweep too); fall back to spawn where fork is unavailable
-    (spawn re-imports, so only builtin scenarios resolve there)."""
-    methods = multiprocessing.get_all_start_methods()
-    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+def _order_tasks(tasks: list[tuple], estimate: Callable[[tuple], Optional[float]]) -> list[tuple]:
+    """Longest-estimated-first dispatch order (stable, so points with no
+    recorded cost keep canonical order, ahead of every known point —
+    an unknown point might be the longest, and starting it late is the
+    one mistake a wide pool cannot recover from). Pure reordering: the
+    results still land in canonical slots, so bytes are unaffected."""
+    return sorted(
+        tasks,
+        key=lambda t: -(e if (e := estimate(t)) is not None else float("inf")),
+    )
+
+
+def dispatch_tasks(
+    sc: Scenario,
+    tasks: list[tuple],
+    workers: int,
+    pool: Optional[SweepPool],
+):
+    """The one serial-vs-pooled execution split every sweep path uses
+    (``run_sweep`` and ``shard.run_shard``). Returns ``(start_method,
+    iterator of (index, values, elapsed_s))``: in-process execution for
+    one worker or a single task (``start_method`` None), otherwise a
+    persistent pool — the one passed in, or a shared pool capped at the
+    task count so narrow grids never fork idle workers."""
+    if (pool.workers if pool is not None else workers) == 1 or len(tasks) <= 1:
+        def _serial():
+            for _, i, cfg, _, _ in tasks:
+                t0 = time.perf_counter()
+                yield i, dict(sc.run_point(cfg)), time.perf_counter() - t0
+        return None, _serial()
+    try:
+        registered = get_scenario(sc.name)
+    except KeyError:
+        registered = None
+    if registered is None or registered.run_point is not sc.run_point:
+        raise ValueError(
+            f"scenario {sc.name!r} must be registered to sweep with "
+            f"workers > 1 (workers re-resolve it by name)"
+        )
+    if pool is None:
+        pool = shared_pool(min(workers, len(tasks)))
+    return pool.start_method, pool.imap_unordered(_run_point_task, tasks)
 
 
 def run_sweep(
@@ -115,69 +184,106 @@ def run_sweep(
     seed: Optional[int] = None,
     workers: int = 1,
     progress: Optional[Callable[[int, int], None]] = None,
+    pool: Optional[SweepPool] = None,
+    point_cache=None,
+    timings=None,
 ) -> SweepResult:
     """Run one scenario's full grid and aggregate deterministically.
 
     Parameters
     ----------
     scenario: registry name or a :class:`Scenario` instance (instances
-        must be registered when ``workers > 1``, so worker processes can
-        resolve them by name).
+        must be registered when running in parallel, so worker
+        processes can resolve them by name).
     overrides: grid/default replacements (see
         :meth:`Scenario.with_overrides`).
     seed: root seed override, threaded into every point's ``cfg``.
     workers: process count; ``1`` runs serially in-process. Results are
         byte-identical across any worker count.
     progress: optional ``(done, total)`` callback, called as points
-        finish (in completion order).
+        finish (in completion order; cache hits count as already done).
+    pool: an explicit :class:`SweepPool` to dispatch on (its worker
+        count takes precedence over ``workers``; the pool is left open
+        for reuse). Default: the session-shared persistent pool.
+    point_cache: optional per-point cache
+        (:class:`repro.experiments.cache.PointCache`); hits skip
+        execution entirely, fresh results are stored back.
+    timings: optional per-point cost store
+        (:class:`repro.experiments.cache.TimingStore`); recorded costs
+        order dispatch longest-first and fresh costs are recorded.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     sc = get_scenario(scenario) if isinstance(scenario, str) else scenario
     sc = sc.with_overrides(overrides, seed=seed)
     points = sc.points()
+    total = len(points)
     # Workers re-apply both the parent's engine mode and its model-
     # protocol mode, so sweeps behave identically under any start method.
     reference = engine.REFERENCE_MODE
     model_reference = modelmode.REFERENCE_MODE
-    tasks = [(sc.name, i, cfg, reference, model_reference) for i, cfg in enumerate(points)]
 
     t0 = time.perf_counter()
-    results: list[Optional[dict[str, float]]] = [None] * len(points)
-    if workers == 1 or len(points) == 1:
-        # In-process: call the scenario directly (no registry round trip,
-        # so unregistered Scenario instances work serially).
+    results: list[Optional[dict[str, float]]] = [None] * total
+    point_elapsed: list[Optional[float]] = [None] * total
+    cache_keys: list[Optional[str]] = [None] * total
+    cached = 0
+    if point_cache is not None:
         for i, cfg in enumerate(points):
-            results[i] = dict(sc.run_point(cfg))
-            if progress:
-                progress(i + 1, len(points))
-    else:
-        try:
-            registered = get_scenario(sc.name)
-        except KeyError:
-            registered = None
-        if registered is None or registered.run_point is not sc.run_point:
-            raise ValueError(
-                f"scenario {sc.name!r} must be registered to sweep with "
-                f"workers > 1 (workers re-resolve it by name)"
+            cache_keys[i], hit = point_cache.lookup(
+                sc, cfg, reference=reference, model_reference=model_reference
             )
-        ctx = _pool_context()
-        with ctx.Pool(processes=min(workers, len(points))) as pool:
-            done = 0
-            for idx, values in pool.imap_unordered(_run_point_task, tasks,
-                                                   chunksize=1):
-                results[idx] = values
-                done += 1
-                if progress:
-                    progress(done, len(tasks))
+            if hit is not None:
+                results[i] = hit
+                cached += 1
+
+    pending = [i for i in range(total) if results[i] is None]
+    tasks = [(sc.name, i, points[i], reference, model_reference) for i in pending]
+    cost_keys: dict[int, str] = {}
+    if timings is not None:
+        cost_keys = {
+            i: timings.key(sc, points[i], reference=reference,
+                           model_reference=model_reference)
+            for i in pending
+        }
+
+    effective_workers = pool.workers if pool is not None else workers
+    done = cached
+    if progress and cached:
+        progress(done, total)
+    if timings is not None and effective_workers > 1:
+        # Cost-aware ordering only changes *dispatch*; results still
+        # land in canonical slots. Serial runs keep canonical order.
+        tasks = _order_tasks(tasks, lambda t: timings.estimate(cost_keys[t[1]]))
+    start_method, stream = dispatch_tasks(sc, tasks, workers, pool)
+    for idx, values, dt in stream:
+        results[idx] = values
+        point_elapsed[idx] = dt
+        done += 1
+        if progress:
+            progress(done, total)
+
+    if point_cache is not None:
+        for i in pending:
+            point_cache.store(sc.name, cache_keys[i], results[i])
+    if timings is not None:
+        for i in pending:
+            timings.record(cost_keys[i], point_elapsed[i])
+        timings.flush()
     elapsed = time.perf_counter() - t0
 
     series = sc.assemble(results)  # raises if any point went missing
-    point_rows = [
-        {"params": {k: v for k, v in cfg.items() if k != "seed"},
-         "values": values}
-        for cfg, values in zip(points, results)
-    ]
+    point_rows = []
+    for i, (cfg, values) in enumerate(zip(points, results)):
+        row: dict[str, Any] = {
+            "params": {k: v for k, v in cfg.items() if k != "seed"},
+            "values": values,
+        }
+        if point_elapsed[i] is not None:
+            row["elapsed_s"] = round(point_elapsed[i], 6)
+        else:
+            row["cached"] = True
+        point_rows.append(row)
     return SweepResult(
         scenario=sc.name,
         title=sc.format_title(),
@@ -189,6 +295,9 @@ def run_sweep(
         defaults=dict(sc.defaults),
         points=point_rows,
         series=series,
-        workers=workers,
+        workers=effective_workers,
         elapsed_s=elapsed,
+        start_method=start_method,
+        executed_points=len(pending),
+        cached_points=cached,
     )

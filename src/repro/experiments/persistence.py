@@ -68,6 +68,9 @@ def save_sweep(result: "SweepResult", outdir: Path = DEFAULT_RESULTS_DIR) -> dic
         "scenario": base,
         "workers": result.workers,
         "elapsed_s": round(result.elapsed_s, 3),
+        "start_method": result.start_method,
+        "executed_points": result.executed_points,
+        "cached_points": result.cached_points,
         "sha256": result.sha256(),
         "calibration": PAPER_CALIBRATION.to_dict(),
     }

@@ -1,0 +1,160 @@
+"""Persistent worker pools for the sweep driver.
+
+Before this module existed every ``run_sweep`` forked a fresh
+``multiprocessing`` pool and tore it down at the end of the grid — for
+wide, cheap grids (and for benchmarks/tests that run many sweeps back
+to back) the fork/import cost dominated the sweep itself. A
+:class:`SweepPool` keeps its worker processes alive across sweeps, so
+the fork cost is paid once per session, not once per sweep.
+
+Determinism is unaffected: workers are stateless with respect to
+results (each task re-applies the parent's engine and model modes and
+builds a fresh ``Environment``), so pooled, per-sweep, and serial runs
+produce byte-identical ``SweepResult`` content.
+
+Two wrinkles the pool handles:
+
+- **Start method.** ``fork`` is preferred (cheap, and children inherit
+  the scenario registry so test-registered scenarios sweep too); where
+  it is unavailable the pool falls back to ``spawn``. The environment
+  variable ``REPRO_SWEEP_START_METHOD`` overrides the choice
+  (``fork``/``spawn``/``forkserver``), and the method actually used is
+  surfaced as non-canonical ``SweepResult.start_method`` metadata.
+- **Registry staleness.** A forked pool snapshots the parent's scenario
+  registry at creation. Registering a scenario afterwards bumps
+  :func:`repro.experiments.registry.epoch`; the pool notices on its
+  next use and transparently respawns, so late-registered scenarios
+  always resolve in workers.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+from typing import Any, Callable, Iterable, Iterator, Optional
+
+from repro.experiments import registry
+
+__all__ = [
+    "START_METHOD_ENV",
+    "SweepPool",
+    "close_shared_pools",
+    "resolve_start_method",
+    "shared_pool",
+]
+
+START_METHOD_ENV = "REPRO_SWEEP_START_METHOD"
+
+
+def resolve_start_method(override: Optional[str] = None) -> str:
+    """The multiprocessing start method sweeps will use.
+
+    Precedence: explicit ``override`` argument, then the
+    ``REPRO_SWEEP_START_METHOD`` environment variable, then ``fork``
+    where available (``spawn`` otherwise). An unsupported name raises
+    ``ValueError`` naming the platform's available methods — previously
+    platforms without fork silently changed behavior; now the choice is
+    explicit and inspectable.
+    """
+    available = multiprocessing.get_all_start_methods()
+    choice = override if override is not None else os.environ.get(START_METHOD_ENV)
+    if choice:
+        if choice not in available:
+            raise ValueError(
+                f"unsupported sweep start method {choice!r} (via "
+                f"{START_METHOD_ENV} or override); available on this "
+                f"platform: {', '.join(available)}"
+            )
+        return choice
+    return "fork" if "fork" in available else "spawn"
+
+
+class SweepPool:
+    """A reusable pool of sweep worker processes.
+
+    Workers are created lazily on first use and stay alive until
+    :meth:`close` (or interpreter exit, for the shared pools below), so
+    consecutive sweeps skip the per-sweep fork/import cost. Safe to
+    pass to any number of ``run_sweep``/``run_shard`` calls; the driver
+    never closes a pool it was handed.
+    """
+
+    def __init__(self, workers: int, start_method: Optional[str] = None):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.start_method = resolve_start_method(start_method)
+        self._pool: Optional[multiprocessing.pool.Pool] = None
+        self._registry_epoch: Optional[int] = None
+
+    @property
+    def started(self) -> bool:
+        return self._pool is not None
+
+    def _ensure(self) -> multiprocessing.pool.Pool:
+        # Forked children snapshot the registry; respawn when it grew so
+        # scenarios registered after the fork still resolve in workers.
+        epoch = registry.epoch()
+        if self._pool is not None and self._registry_epoch != epoch:
+            self.close()
+        if self._pool is None:
+            ctx = multiprocessing.get_context(self.start_method)
+            self._pool = ctx.Pool(processes=self.workers)
+            self._registry_epoch = epoch
+        return self._pool
+
+    def imap_unordered(
+        self, fn: Callable[[Any], Any], tasks: Iterable[Any]
+    ) -> Iterator[Any]:
+        """Stream ``fn(task)`` results in completion order (chunksize 1,
+        so long tasks never serialize short ones behind them)."""
+        return self._ensure().imap_unordered(fn, tasks, chunksize=1)
+
+    def worker_pids(self) -> list[int]:
+        """PIDs of the live worker processes (empty before first use) —
+        lets tests assert that consecutive sweeps reused the same
+        workers instead of forking new ones."""
+        if self._pool is None:
+            return []
+        return [p.pid for p in self._pool._pool]  # noqa: SLF001
+
+    def close(self) -> None:
+        """Tear the workers down; the next use respawns them."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+            self._registry_epoch = None
+
+    def __enter__(self) -> "SweepPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+#: Session-shared pools, keyed by (workers, start method). run_sweep
+#: defaults to these, so the CLI, the perf harness, and the golden/sweep
+#: tests all amortize worker startup without any explicit plumbing.
+_SHARED: dict[tuple[int, str], SweepPool] = {}
+
+
+def shared_pool(workers: int, start_method: Optional[str] = None) -> SweepPool:
+    """The session-wide persistent pool for ``workers`` processes."""
+    method = resolve_start_method(start_method)
+    key = (workers, method)
+    pool = _SHARED.get(key)
+    if pool is None:
+        pool = _SHARED[key] = SweepPool(workers, method)
+    return pool
+
+
+def close_shared_pools() -> None:
+    """Terminate every shared pool (also runs at interpreter exit)."""
+    while _SHARED:
+        _, pool = _SHARED.popitem()
+        pool.close()
+
+
+atexit.register(close_shared_pools)

@@ -11,18 +11,31 @@ from __future__ import annotations
 
 from repro.experiments.scenario import Scenario
 
-__all__ = ["all_scenarios", "get_scenario", "register", "scenario_names"]
+__all__ = ["all_scenarios", "epoch", "get_scenario", "register", "scenario_names"]
 
 _REGISTRY: dict[str, Scenario] = {}
+
+_EPOCH = 0
+"""Bumped on every (re-)registration. Persistent worker pools snapshot
+the registry at fork time and compare epochs to know when a respawn is
+needed for late-registered scenarios (see ``experiments/pool.py``)."""
 
 
 def register(scenario: Scenario, replace: bool = False) -> Scenario:
     """Add ``scenario`` under its name; duplicate names are an error
     unless ``replace=True`` (used by tests to shadow a builtin)."""
+    global _EPOCH
     if not replace and scenario.name in _REGISTRY:
         raise ValueError(f"scenario {scenario.name!r} already registered")
     _REGISTRY[scenario.name] = scenario
+    _EPOCH += 1
     return scenario
+
+
+def epoch() -> int:
+    """Monotonic registration counter (includes builtin registration)."""
+    _ensure_builtins()
+    return _EPOCH
 
 
 def get_scenario(name: str) -> Scenario:

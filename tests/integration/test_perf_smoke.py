@@ -33,3 +33,10 @@ def test_run_perf_smoke(tmp_path):
     # The lazy-deletion fix is algorithmic, not timing-sensitive: even a
     # noisy host shows the cancel storm far faster than eager heapify.
     assert micros["cancel_churn"]["wallclock_speedup_median"] > 2.0
+    # Sweep bench: pooling/caching/sharding must stay byte-neutral, and
+    # the point cache's executed-point reduction is a pure count.
+    sweep_bench = report["sweep_bench"]
+    assert sweep_bench["pool_dispatch"]["bytes_identical"] is True
+    assert sweep_bench["point_cache"]["bytes_identical"] is True
+    assert sweep_bench["point_cache"]["executed_reduction"] >= 5.0
+    assert all(sweep_bench["shard_merge"]["sha256_identical"].values())

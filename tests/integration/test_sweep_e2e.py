@@ -65,6 +65,24 @@ def test_cli_sweep_full_fig7_matches_serial(tmp_path):
     assert j1 == j4
 
 
+def test_full_fig8_grid_sharded_across_pools(tmp_path):
+    """Cross-host workflow on the paper's full Fig-8 grid: 3 shards run
+    independently (as three hosts would), each on its own worker pool,
+    then merge byte-identically to the serial acceptance sweep."""
+    from repro.experiments import merge_shards, run_shard, write_shard
+
+    overrides = {"samples": 1e10}
+    serial = run_sweep("fig8", overrides, workers=1)
+    dirs = []
+    for i in range(3):
+        manifest = run_shard("fig8", i, 3, overrides, workers=2)
+        dirs.append(write_shard(manifest, tmp_path / f"host{i}").parent)
+    merged = merge_shards(dirs)
+    assert merged.canonical_json() == serial.canonical_json()
+    paths = save_sweep(merged, tmp_path / "merged")
+    assert paths["json"].read_text() == serial.pretty_json()
+
+
 def test_scale_scenario_cluster_sized_point(tmp_path):
     """`repro sweep scale` at a genuinely cluster-scale point (256
     worker blades, every policy), byte-identical across worker counts.
