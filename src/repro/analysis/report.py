@@ -96,7 +96,19 @@ _DECISION_COLUMNS = (
     ("delay_waits", "delay waits"),
     ("heartbeats", "heartbeats"),
     ("heartbeat_parks", "parks"),
+    ("heartbeat_batches", "hb batches"),
+    ("heartbeat_batch_hist", "hb batch hist"),
 )
+
+
+def _fmt_batch_hist(hist: Mapping[str, int]) -> str:
+    """Compact ``size:passes`` rendering of the heartbeat batch-size
+    histogram (``{"1": 523, "8": 3}`` → ``"1:523 8:3"``)."""
+    if not hist:
+        return "-"
+    return " ".join(
+        f"{size}:{hist[size]}" for size in sorted(hist, key=int)
+    )
 
 
 def decision_counters_table(
@@ -120,7 +132,10 @@ def decision_counters_table(
     for label, counters in per_policy.items():
         row: dict[str, Any] = {"scheduler": label}
         for key, heading in _DECISION_COLUMNS:
-            row[heading] = counters.get(key, 0)
+            value = counters.get(key, 0)
+            if key == "heartbeat_batch_hist":
+                value = _fmt_batch_hist(value if isinstance(value, Mapping) else {})
+            row[heading] = value
         for key in extras:
             row[key] = counters.get(key, 0)
         rows.append(row)

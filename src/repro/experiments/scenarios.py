@@ -415,13 +415,13 @@ SCALE_SCENARIOS = (
     register(Scenario(
         name="scale",
         title="Cluster scale: {num_jobs}-job mixes, weak scaling",
-        description="Multi-job AES+Pi workloads on 256/512/1024 worker "
+        description="Multi-job AES+Pi workloads on 256 through 4096 worker "
                     "blades under every placement policy, with per-node "
                     "work held constant; mean job completion time per "
-                    "policy (the cluster-scale frontier the event-thin "
-                    "model layer opens).",
+                    "policy (the weak-scaling envelope the batch-served "
+                    "protocol and vectorized cost models open).",
         run_point=scale_point,
-        grid={"nodes": (256, 512, 1024)},
+        grid={"nodes": (256, 512, 1024, 2048, 4096)},
         x="nodes",
         curves=tuple(label for label, _ in SCHED_POLICIES),
         defaults={

@@ -55,6 +55,48 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["JobTracker"]
 
 
+class _MapOutputRegistry(dict):
+    """``(job_id, task_id) → MapOutput`` with a by-node inverse index.
+
+    Loss recovery must find every completed map output a dead node held;
+    scanning all jobs × maps is O(cluster) per declaration, which
+    dominates mass-loss instants at saturation scale. The index keeps
+    that lookup O(owned). Only the mutation paths the simulator uses are
+    indexed (``__setitem__``, ``pop``, ``__delitem__``).
+    """
+
+    __slots__ = ("by_node",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.by_node: dict[int, set[tuple[int, int]]] = {}
+
+    def _unindex(self, key, out) -> None:
+        owned = self.by_node.get(out.node_id)
+        if owned is not None:
+            owned.discard(key)
+            if not owned:
+                del self.by_node[out.node_id]
+
+    def __setitem__(self, key, out) -> None:
+        old = self.get(key)
+        if old is not None:
+            self._unindex(key, old)
+        super().__setitem__(key, out)
+        self.by_node.setdefault(out.node_id, set()).add(key)
+
+    def __delitem__(self, key) -> None:
+        self._unindex(key, self[key])
+        super().__delitem__(key)
+
+    def pop(self, key, *default):
+        if key in self:
+            out = super().pop(key)
+            self._unindex(key, out)
+            return out
+        return super().pop(key, *default)
+
+
 class JobTracker:
     """Cluster-level task coordinator bound to the master blade."""
 
@@ -71,7 +113,7 @@ class JobTracker:
         self.rng = cluster.rng
         self.tracer = cluster.tracer
         self.inbox = Store(self.env)
-        self.map_outputs: dict = {}
+        self.map_outputs: _MapOutputRegistry = _MapOutputRegistry()
         self.cluster_nodes = {n.node_id: n for n in cluster.nodes}
         self.scheduler: Scheduler = resolve_scheduler(scheduler)
 
@@ -84,6 +126,11 @@ class JobTracker:
         """(job, kind, task) → [(tracker_id, attempt, start_time)]."""
         self._live_attempts: dict[int, int] = {}
         """job_id → live attempt count (the fair-share load measure)."""
+        self._tracker_attempts: dict[int, int] = {}
+        """tracker_id → live attempt count. Gates the loss-recovery scan
+        of ``_running_attempts``: a starved-idle tracker (the common
+        case in mass-loss instants at saturation) owes nothing, so its
+        declaration skips the O(attempts) walk entirely."""
         self._kill_queue: dict[int, list[KillDirective]] = {}
         self._next_job_id = 0
         self._started = False
@@ -99,6 +146,13 @@ class JobTracker:
         self._membership_epoch = 0
         self._jobs_epoch = 0
         self._queue_epochs: dict[int, int] = {}
+        #: Jobs whose pending-map queue may have left ascending task-id
+        #: order. ``_setup_job`` seeds the queue sorted and assignment
+        #: removals preserve relative order; only a failure/loss requeue
+        #: *append* can break it, and those sites add the job here. The
+        #: view's pick fast path (per-node candidate index) is gated on
+        #: absence from this set — conservative, hence always exact.
+        self._queue_unsorted: set[int] = set()
         #: Mechanism-side decision tallies (policy-side ones live on the
         #: Scheduler; see :meth:`decision_counters`).
         self._decisions: dict[str, int] = {
@@ -107,6 +161,10 @@ class JobTracker:
             "speculative_assignments": 0,
             "kills_issued": 0,
         }
+        #: Heartbeats served per main-loop pass → pass count. Batch
+        #: sizes above 1 mean several exchanges landed on the same
+        #: (saturated) service instant and were drained in one wake.
+        self._batch_hist: dict[int, int] = {}
         self._view = ClusterView(self)
 
     # -- membership -------------------------------------------------------------
@@ -165,18 +223,25 @@ class JobTracker:
         self._queue_epochs[job_id] = self._queue_epochs.get(job_id, 0) + 1
 
     # -- decision counters ---------------------------------------------------------
-    def decision_counters(self) -> dict[str, int]:
+    def decision_counters(self) -> dict[str, object]:
         """Mechanism + policy decision tallies for reporting.
 
         Merges the JobTracker's apply-side counts (assignments,
         speculations, kills, heartbeats handled) with whatever the
-        active policy tallied internally (e.g. delay-scheduling waits)
-        and the trackers' elision stats.
+        active policy tallied internally (e.g. delay-scheduling waits),
+        the trackers' elision stats, and the heartbeat batch-size
+        histogram (``heartbeat_batch_hist``: served-per-pass → passes).
         """
         out = dict(self._decisions)
         out["heartbeat_parks"] = sum(
             t.heartbeat_parks for t in self._trackers.values()
         )
+        out["heartbeat_batches"] = sum(self._batch_hist.values())
+        #: Batch-size histogram ({size: passes}, string keys so the
+        #: counters dict stays JSON-serializable end to end).
+        out["heartbeat_batch_hist"] = {
+            str(size): count for size, count in sorted(self._batch_hist.items())
+        }
         for key, value in sorted(self.scheduler.decision_counters().items()):
             out[key] = out.get(key, 0) + value
         return out
@@ -254,19 +319,44 @@ class JobTracker:
 
     # -- main service loop ------------------------------------------------------------
     def _main_loop(self) -> Generator:
+        """Serve the inbox in batched passes.
+
+        One ``get()`` wake opens a service pass that drains every message
+        already queued (plus any that arrive while the pass is mid-
+        service — exactly the messages the old get-per-message loop
+        would have found queued). Each message still pays its own
+        serialized ``jobtracker_service_s`` and is handled in arrival
+        order, so the pass is byte-identical to the one-at-a-time loop:
+        an immediately-satisfiable ``get()`` was already born-processed
+        (no heap trip), making the drain a pure Python-overhead saving.
+        The per-pass heartbeat count feeds the batch-size histogram
+        surfaced through :meth:`decision_counters`.
+        """
+        inbox_items = self.inbox.items
+        service_s = self.calib.jobtracker_service_s
+        batch_hist = self._batch_hist
         while True:
             msg, reply_box = yield self.inbox.get()
-            # Serialized service time for every RPC the JobTracker handles.
-            yield self.env.pooled_timeout(self.calib.jobtracker_service_s)
-            if isinstance(msg, Heartbeat):
-                reply = self._handle_heartbeat(msg)
-                yield reply_box.put(reply)
-            elif isinstance(msg, TaskDone):
-                self._handle_done(msg)
-            elif isinstance(msg, TaskFailed):
-                self._handle_failed(msg)
-            else:  # pragma: no cover - defensive
-                raise TypeError(f"unknown message {msg!r}")
+            heartbeats = 0
+            while True:
+                # Serialized service time for every RPC the JobTracker
+                # handles.
+                yield self.env.pooled_timeout(service_s)
+                if isinstance(msg, Heartbeat):
+                    reply = self._handle_heartbeat(msg)
+                    yield reply_box.put(reply)
+                    heartbeats += 1
+                elif isinstance(msg, TaskDone):
+                    self._handle_done(msg)
+                elif isinstance(msg, TaskFailed):
+                    self._handle_failed(msg)
+                else:  # pragma: no cover - defensive
+                    raise TypeError(f"unknown message {msg!r}")
+                if not inbox_items:
+                    break
+                msg, reply_box = inbox_items.popleft()
+            if heartbeats:
+                batch_hist[heartbeats] = batch_hist.get(heartbeats, 0) + 1
 
     # -- heartbeat handling ------------------------------------------------------------
     def _handle_heartbeat(self, hb: Heartbeat) -> AssignmentReply:
@@ -356,6 +446,7 @@ class JobTracker:
             (tracker_id, task.attempts, self.env.now)
         )
         self._live_attempts[job.job_id] = self._live_attempts.get(job.job_id, 0) + 1
+        self._tracker_attempts[tracker_id] = self._tracker_attempts.get(tracker_id, 0) + 1
         if self.tracer.enabled:
             self.tracer.emit(
                 "jobtracker",
@@ -384,6 +475,10 @@ class JobTracker:
         remaining = [a for a in attempts if a[1] != msg.attempt]
         self._running_attempts[key] = remaining
         self._note_attempts_gone(msg.job_id, len(attempts) - len(remaining))
+        if len(remaining) != len(attempts):
+            self._note_tracker_attempts_gone(
+                a for a in attempts if a[1] == msg.attempt
+            )
         if task.state == "done":
             return  # late duplicate
         task.state = "done"
@@ -421,6 +516,7 @@ class JobTracker:
                     if target is not None:
                         target.poke(dirty=True, urgent=True)
             self._note_attempts_gone(msg.job_id, len(leftovers))
+            self._note_tracker_attempts_gone(leftovers)
             self._running_attempts[key] = []
         if msg.kind is TaskKind.MAP and job.maps_all_done and job.maps_done_time < 0:
             job.maps_done_time = self.env.now
@@ -441,6 +537,10 @@ class JobTracker:
         remaining = [a for a in attempts if a[1] != msg.attempt]
         self._running_attempts[key] = remaining
         self._note_attempts_gone(msg.job_id, len(attempts) - len(remaining))
+        if len(remaining) != len(attempts):
+            self._note_tracker_attempts_gone(
+                a for a in attempts if a[1] == msg.attempt
+            )
         if task.state == "done":
             return
         job.bump("failed_attempts")
@@ -457,6 +557,8 @@ class JobTracker:
         ).setdefault(msg.job_id, [])
         if msg.task_id not in pending:
             pending.append(msg.task_id)
+            if msg.kind is TaskKind.MAP:
+                self._queue_unsorted.add(msg.job_id)
             self._bump_queue(msg.job_id)
             self._poke_trackers()
 
@@ -467,6 +569,17 @@ class JobTracker:
             self._live_attempts[job_id] = max(
                 0, self._live_attempts.get(job_id, 0) - count
             )
+
+    def _note_tracker_attempts_gone(self, removed) -> None:
+        """Keep the per-tracker live-attempt tally in step with
+        ``_running_attempts`` removals (``removed``: attempt tuples)."""
+        counts = self._tracker_attempts
+        for tracker_id, _attempt, _t0 in removed:
+            n = counts.get(tracker_id, 0) - 1
+            if n > 0:
+                counts[tracker_id] = n
+            else:
+                counts.pop(tracker_id, None)
 
     def _finish_job(self, job: Job) -> Generator:
         yield self.env.timeout(self.calib.job_cleanup_s)
@@ -492,7 +605,27 @@ class JobTracker:
         timeout = self.calib.heartbeat_timeout_s
         thin = self.event_thin
         heap = self._expiry
+        last_seen = self._last_seen
         while True:
+            if thin and heap:
+                # Re-arm stale heads eagerly: entries whose tracker has
+                # heartbeat since their push carry an expired-looking
+                # deadline that would wake the monitor early for
+                # nothing. Advancing them here lets one sleep span a
+                # whole keepalive window — and one wake then drains a
+                # whole batched expiry instant instead of N stale ticks.
+                while heap:
+                    deadline, tracker_id = heap[0]
+                    last = last_seen.get(tracker_id)
+                    if last is None:
+                        heappop(heap)  # tracker already declared lost
+                        continue
+                    true_deadline = last + timeout
+                    if true_deadline > deadline:
+                        heappop(heap)
+                        heappush(heap, (true_deadline, tracker_id))
+                        continue
+                    break
             if thin and heap:
                 delay = min(max(heap[0][0] - self.env.now, interval), timeout)
             else:
@@ -528,56 +661,92 @@ class JobTracker:
                 heappush(heap, (true_deadline, tracker_id))
         # Ascending-id order == the registration order the pre-overhaul
         # full scan used, so multi-loss recovery stays deterministic.
-        for tracker_id in sorted(expired):
-            self._declare_lost(tracker_id)
+        # One demand sweep covers the whole pass: the declarations are
+        # synchronous (no yields between them), so every interrupt a
+        # per-declaration poke would schedule lands at this same instant
+        # anyway — minus redundant wakes for trackers that are themselves
+        # mid-declaration in this pass.
+        expired.sort()
+        for tracker_id in expired:
+            self._declare_lost(tracker_id, poke=False)
+        if expired:
+            self._poke_trackers()
 
-    def _declare_lost(self, tracker_id: int) -> None:
-        """Remove a dead tracker and reschedule everything it owed us."""
+    def _declare_lost(self, tracker_id: int, poke: bool = True) -> None:
+        """Remove a dead tracker and reschedule everything it owed us.
+
+        ``poke=False`` defers the demand wakeup to the caller so a
+        multi-loss monitor pass (same-instant expiries at saturation)
+        coalesces into a single ``_poke_trackers`` sweep instead of one
+        per declaration.
+        """
         self._trackers.pop(tracker_id, None)
         self._last_seen.pop(tracker_id, None)
         self._membership_epoch += 1
         if self.tracer.enabled:
             self.tracer.emit("jobtracker", "tracker_lost", tracker=tracker_id)
-        for key, attempts in list(self._running_attempts.items()):
-            job_id, kind, task_id = key
-            remaining = [a for a in attempts if a[0] != tracker_id]
-            if len(remaining) == len(attempts):
-                continue
-            self._running_attempts[key] = remaining
-            self._note_attempts_gone(job_id, len(attempts) - len(remaining))
-            job = self._jobs.get(job_id)
-            if job is None or job.state is not JobState.RUNNING:
-                continue
-            task = job.task(kind, task_id)
-            if task.state == "running" and not remaining:
-                task.state = "pending"
-                pending = (
-                    self._pending_maps if kind is TaskKind.MAP else self._pending_reduces
-                ).setdefault(job_id, [])
-                if task_id not in pending:
-                    pending.append(task_id)
-                    self._bump_queue(job_id)
-                job.bump("rescheduled_tasks")
+        # Running attempts: walk the table only if the tracker owed any
+        # (per-tracker tally); a starved-idle tracker skips the O(attempts)
+        # scan entirely, and the tally bounds the scan — once every owed
+        # attempt is found the walk stops. Completed keys linger with
+        # empty lists, so skip those without the per-entry filter. The
+        # body only reassigns values (never inserts/deletes keys), so
+        # iterating the live dict is safe.
+        owed = self._tracker_attempts.pop(tracker_id, 0)
+        if owed:
+            for key, attempts in self._running_attempts.items():
+                if not attempts:
+                    continue
+                removed = sum(1 for a in attempts if a[0] == tracker_id)
+                if not removed:
+                    continue
+                remaining = [a for a in attempts if a[0] != tracker_id]
+                job_id, kind, task_id = key
+                self._running_attempts[key] = remaining
+                self._note_attempts_gone(job_id, removed)
+                owed -= removed
+                job = self._jobs.get(job_id)
+                if job is not None and job.state is JobState.RUNNING:
+                    task = job.task(kind, task_id)
+                    if task.state == "running" and not remaining:
+                        task.state = "pending"
+                        pending = (
+                            self._pending_maps if kind is TaskKind.MAP else self._pending_reduces
+                        ).setdefault(job_id, [])
+                        if task_id not in pending:
+                            pending.append(task_id)
+                            if kind is TaskKind.MAP:
+                                self._queue_unsorted.add(job_id)
+                            self._bump_queue(job_id)
+                        job.bump("rescheduled_tasks")
+                if owed <= 0:
+                    break
         # Completed map outputs on the dead node are gone; jobs with
-        # reducers still shuffling must re-run those maps.
-        for job in self._jobs.values():
-            if job.state is not JobState.RUNNING or not job.reduces:
+        # reducers still shuffling must re-run those maps. The by-node
+        # index yields exactly the outputs the node held; ascending
+        # (job_id, task_id) order equals the old jobs-then-maps walk.
+        owned = self.map_outputs.by_node.get(tracker_id)
+        for job_id, task_id in sorted(owned) if owned else ():
+            job = self._jobs.get(job_id)
+            if job is None or job.state is not JobState.RUNNING or not job.reduces:
                 continue
             if job.reduces_all_done:
                 continue
-            for task in job.maps.values():
-                out = self.map_outputs.get((job.job_id, task.task_id))
-                if task.state == "done" and out is not None and out.node_id == tracker_id:
-                    task.state = "pending"
-                    job.note_task_undone(TaskKind.MAP)
-                    task.attempts = 0
-                    self.map_outputs.pop((job.job_id, task.task_id), None)
-                    pending = self._pending_maps.setdefault(job.job_id, [])
-                    if task.task_id not in pending:
-                        pending.append(task.task_id)
-                        self._bump_queue(job.job_id)
-                    if job.maps_done_time >= 0:
-                        job.maps_done_time = -1.0
-                    job.bump("rerun_completed_maps")
+            task = job.maps.get(task_id)
+            if task is None or task.state != "done":
+                continue
+            task.state = "pending"
+            job.note_task_undone(TaskKind.MAP)
+            task.attempts = 0
+            self.map_outputs.pop((job_id, task_id), None)
+            pending = self._pending_maps.setdefault(job_id, [])
+            if task_id not in pending:
+                pending.append(task_id)
+                self._queue_unsorted.add(job_id)
+                self._bump_queue(job_id)
+            if job.maps_done_time >= 0:
+                job.maps_done_time = -1.0
+            job.bump("rerun_completed_maps")
         # Requeued work is demand: wake every parked survivor.
-        self._poke_trackers()
+        if poke:
+            self._poke_trackers()

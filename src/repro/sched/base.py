@@ -78,18 +78,40 @@ class AssignmentBatch:
     and fair-share load counts include in-batch launches.
     """
 
-    __slots__ = ("choices", "taken", "extra_running")
+    __slots__ = ("choices", "taken", "extra_running", "_taken_maps", "_taken_reduces")
+
+    #: Shared empty set the per-job accessors return for untouched jobs,
+    #: so the (overwhelmingly common) no-pick-yet case allocates nothing.
+    _EMPTY: ClassVar[frozenset] = frozenset()
 
     def __init__(self) -> None:
         self.choices: list[TaskChoice] = []
         self.taken: set[tuple[int, TaskKind, int]] = set()
         self.extra_running: dict[int, int] = {}
+        # Per-(job, kind) plain-int mirrors of ``taken``: the pick loops
+        # probe these instead of building a (jid, kind, tid) tuple and
+        # hashing a TaskKind per pending task.
+        self._taken_maps: dict[int, set[int]] = {}
+        self._taken_reduces: dict[int, set[int]] = {}
 
     def add(self, choice: TaskChoice) -> TaskChoice:
         self.choices.append(choice)
         self.taken.add((choice.job_id, choice.kind, choice.task_id))
+        by_job = self._taken_maps if choice.kind is TaskKind.MAP else self._taken_reduces
+        ids = by_job.get(choice.job_id)
+        if ids is None:
+            ids = by_job[choice.job_id] = set()
+        ids.add(choice.task_id)
         self.extra_running[choice.job_id] = self.extra_running.get(choice.job_id, 0) + 1
         return choice
+
+    def taken_maps(self, job_id: int):
+        """Map task ids already picked for ``job_id`` in this batch."""
+        return self._taken_maps.get(job_id) or self._EMPTY
+
+    def taken_reduces(self, job_id: int):
+        """Reduce task ids already picked for ``job_id`` in this batch."""
+        return self._taken_reduces.get(job_id) or self._EMPTY
 
     def running_count(self, job: "JobView") -> int:
         """The job's live attempts including this batch's picks."""
@@ -116,15 +138,37 @@ def pick_pending_map(
     """
     if pending is None:
         pending = job.pending_maps
-    jid = job.job_id
-    taken = batch.taken
+    taken = batch.taken_maps(job.job_id)
+    if not job.has_locality:
+        # No map task has a split, so the locality probe can never hit:
+        # the answer is always the first untaken pending id.
+        for task_id in pending:
+            if task_id not in taken:
+                return task_id
+        return None
+    if job.pending_maps_sorted and pending is job.pending_maps:
+        # Ascending queue: first-in-queue-order == smallest id, so the
+        # locality probe can walk this tracker's few candidates instead
+        # of the whole queue (O(replication) vs O(pending)).
+        candidates = job.local_candidates.get(tracker_id)
+        if candidates:
+            pending_set = job.pending_map_set
+            for task_id in candidates:
+                if task_id in pending_set and task_id not in taken:
+                    return task_id
+        for task_id in pending:
+            if task_id not in taken:
+                return task_id
+        return None
+    lookup = job.preferred_lookup
     head: Optional[int] = None
     for task_id in pending:
-        if (jid, TaskKind.MAP, task_id) in taken:
+        if task_id in taken:
             continue
         if head is None:
             head = task_id
-        if tracker_id in job.preferred_nodes(task_id):
+        preferred = lookup.get(task_id)
+        if preferred and tracker_id in preferred:
             return task_id
     return head
 
@@ -145,12 +189,11 @@ def pick_speculative_map(
     if not done:
         return None
     mean = sum(done) / len(done)
-    jid = job.job_id
-    taken = batch.taken
+    taken = batch.taken_maps(job.job_id)
     best_id: Optional[int] = None
     best_elapsed = 0.0
     for task_id, attempts in job.running_map_attempts():
-        if (jid, TaskKind.MAP, task_id) in taken:
+        if task_id in taken:
             continue  # already picked (or duplicated) in this batch
         if len(attempts) != 1:
             continue  # already duplicated (or lost)
@@ -169,9 +212,9 @@ def pick_pending_reduce(
     """Head-of-queue reduce pick, gated on the map phase finishing."""
     if not job.maps_all_done:
         return None
-    jid = job.job_id
+    taken = batch.taken_reduces(job.job_id)
     for task_id in job.pending_reduces:
-        if (jid, TaskKind.REDUCE, task_id) not in batch.taken:
+        if task_id not in taken:
             return task_id
     return None
 

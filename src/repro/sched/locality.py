@@ -109,15 +109,46 @@ class LocalityAwareScheduler(Scheduler):
         queue is dry. A task with no preferred nodes counts as local —
         there is no data for it to be remote from.
         """
-        jid = job.job_id
-        taken = batch.taken
+        taken = batch.taken_maps(job.job_id)
+        pending = job.pending_maps
+        if not job.has_locality:
+            # Unconstrained everywhere: the first untaken task is local
+            # by definition (no data to be remote from).
+            for task_id in pending:
+                if task_id not in taken:
+                    return task_id, True
+            return None, False
+        if job.pending_maps_sorted:
+            # Ascending queue: the first-in-queue-order local task is
+            # the smallest id among this tracker's candidates plus the
+            # unconstrained ("local everywhere") tasks, so probe those
+            # two short ascending tuples instead of the whole queue.
+            pending_set = job.pending_map_set
+            best: Optional[int] = None
+            for task_id in job.local_candidates.get(tracker_id, ()):
+                if task_id in pending_set and task_id not in taken:
+                    best = task_id
+                    break
+            for task_id in job.unconstrained_maps:
+                if best is not None and task_id >= best:
+                    break
+                if task_id in pending_set and task_id not in taken:
+                    best = task_id
+                    break
+            if best is not None:
+                return best, True
+            for task_id in pending:
+                if task_id not in taken:
+                    return task_id, False
+            return None, False
+        lookup = job.preferred_lookup
         head: Optional[int] = None
-        for task_id in job.pending_maps:
-            if (jid, TaskKind.MAP, task_id) in taken:
+        for task_id in pending:
+            if task_id in taken:
                 continue
             if head is None:
                 head = task_id
-            preferred = job.preferred_nodes(task_id)
+            preferred = lookup.get(task_id)
             if not preferred or tracker_id in preferred:
                 return task_id, True
         return head, False

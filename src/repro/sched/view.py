@@ -115,7 +115,9 @@ class JobView:
     per-job queue epoch — an unchanged queue is never re-copied.
     """
 
-    __slots__ = ("_job", "_jt", "_queue_epoch", "_pending_maps", "_pending_reduces")
+    __slots__ = ("_job", "_jt", "_queue_epoch", "_pending_maps", "_pending_reduces",
+                 "_preferred_lookup", "_has_locality", "_local_candidates",
+                 "_unconstrained_maps", "_pending_map_set", "_pending_maps_sorted")
 
     def __init__(self, job, jt: "JobTracker"):
         self._job = job
@@ -123,6 +125,12 @@ class JobView:
         self._queue_epoch = -1
         self._pending_maps: tuple[int, ...] = ()
         self._pending_reduces: tuple[int, ...] = ()
+        self._preferred_lookup: Optional[dict[int, tuple[int, ...]]] = None
+        self._has_locality = False
+        self._local_candidates: Optional[dict[int, tuple[int, ...]]] = None
+        self._unconstrained_maps: Optional[tuple[int, ...]] = None
+        self._pending_map_set: Optional[frozenset[int]] = None
+        self._pending_maps_sorted = True
 
     # -- identity / configuration -----------------------------------------
     @property
@@ -163,6 +171,13 @@ class JobView:
         epoch = self._jt._queue_epochs.get(jid, 0)
         if epoch != self._queue_epoch:
             self._pending_maps = tuple(self._jt._pending_maps.get(jid, ()))
+            self._pending_map_set = None
+            # Ascending queues (no failure/loss requeue has appended out
+            # of order yet) let the pick fast path walk the per-node
+            # candidate index instead of the whole queue. The JobTracker
+            # tracks the (rare, sticky) out-of-order appends, so this is
+            # a set probe rather than an O(pending) rescan per epoch.
+            self._pending_maps_sorted = jid not in self._jt._queue_unsorted
             self._pending_reduces = tuple(self._jt._pending_reduces.get(jid, ()))
             self._queue_epoch = epoch
 
@@ -171,6 +186,57 @@ class JobView:
         """Unassigned map task ids, in JobTracker queue order."""
         self._refresh_queues()
         return self._pending_maps
+
+    @property
+    def pending_map_set(self) -> frozenset[int]:
+        """Pending map ids as a set (O(1) membership for pick loops).
+        Built lazily per queue epoch — jobs whose picks never probe it
+        (no locality) never pay for it."""
+        self._refresh_queues()
+        cached = self._pending_map_set
+        if cached is None:
+            cached = self._pending_map_set = frozenset(self._pending_maps)
+        return cached
+
+    @property
+    def pending_maps_sorted(self) -> bool:
+        """True while the map queue is in ascending task-id order —
+        then first-in-queue-order equals first-in-ascending-id, and the
+        locality pick may use :attr:`local_candidates`."""
+        self._refresh_queues()
+        return self._pending_maps_sorted
+
+    @property
+    def local_candidates(self) -> dict[int, tuple[int, ...]]:
+        """``node_id → map task ids preferring it`` (ascending ids).
+
+        The static inverse of :attr:`preferred_lookup`: a tracker's
+        locality probe walks its own few candidates instead of the whole
+        pending queue. Valid as a queue-order pick only while
+        :attr:`pending_maps_sorted` holds.
+        """
+        index = self._local_candidates
+        if index is None:
+            build: dict[int, list[int]] = {}
+            for tid, preferred in self.preferred_lookup.items():
+                for node in preferred:
+                    build.setdefault(node, []).append(tid)
+            index = self._local_candidates = {
+                node: tuple(sorted(tids)) for node, tids in build.items()
+            }
+        return index
+
+    @property
+    def unconstrained_maps(self) -> tuple[int, ...]:
+        """Map task ids with no split (ascending) — "local everywhere"
+        for policies that treat no-preference as local (delay
+        scheduling). Static, like :attr:`local_candidates`."""
+        ids = self._unconstrained_maps
+        if ids is None:
+            ids = self._unconstrained_maps = tuple(
+                sorted(tid for tid, pref in self.preferred_lookup.items() if not pref)
+            )
+        return ids
 
     @property
     def pending_reduces(self) -> tuple[int, ...]:
@@ -197,11 +263,37 @@ class JobView:
         return self._jt._live_attempts.get(self._job.job_id, 0)
 
     # -- per-task detail -----------------------------------------------------
+    @property
+    def preferred_lookup(self) -> dict[int, tuple[int, ...]]:
+        """``task_id → preferred node ids`` for every map task.
+
+        Splits are immutable once ``_setup_job`` built the task table
+        (reschedules re-queue ids, never re-split), so the lookup is
+        computed once per job and shared across every heartbeat — the
+        batch pick loops probe it instead of paying a method call and
+        attribute chase per pending task. Policies must not mutate it.
+        """
+        lookup = self._preferred_lookup
+        if lookup is None:
+            lookup = self._preferred_lookup = {
+                tid: (() if t.split is None else t.split.preferred_nodes)
+                for tid, t in self._job.maps.items()
+            }
+            self._has_locality = any(lookup.values())
+        return lookup
+
+    @property
+    def has_locality(self) -> bool:
+        """True if any map task has a preferred node — compute-driven
+        jobs (no splits) short-circuit the per-task locality probe."""
+        if self._preferred_lookup is None:
+            _ = self.preferred_lookup
+        return self._has_locality
+
     def preferred_nodes(self, task_id: int) -> tuple[int, ...]:
         """HDFS block locality of one map task (compute-driven jobs have
         no split and prefer nowhere)."""
-        split = self._job.maps[task_id].split
-        return () if split is None else split.preferred_nodes
+        return self.preferred_lookup[task_id]
 
     def map_state(self, task_id: int) -> str:
         return self._job.maps[task_id].state
@@ -385,6 +477,37 @@ class SyntheticJob:
         self._map_states = dict(map_states or {})
         self._done_durations = list(done_durations)
         self._running_attempts = dict(running_attempts or {})
+
+    @property
+    def preferred_lookup(self) -> dict[int, tuple[int, ...]]:
+        return self._preferred
+
+    @property
+    def has_locality(self) -> bool:
+        return any(self._preferred.values())
+
+    @property
+    def pending_map_set(self) -> frozenset[int]:
+        return frozenset(self.pending_maps)
+
+    @property
+    def pending_maps_sorted(self) -> bool:
+        pending = self.pending_maps
+        return all(pending[i] < pending[i + 1] for i in range(len(pending) - 1))
+
+    @property
+    def local_candidates(self) -> dict[int, tuple[int, ...]]:
+        build: dict[int, list[int]] = {}
+        for tid, preferred in self._preferred.items():
+            for node in preferred:
+                build.setdefault(node, []).append(tid)
+        return {node: tuple(sorted(tids)) for node, tids in build.items()}
+
+    @property
+    def unconstrained_maps(self) -> tuple[int, ...]:
+        return tuple(
+            sorted(tid for tid in self.pending_maps if not self._preferred.get(tid))
+        )
 
     def preferred_nodes(self, task_id: int) -> tuple[int, ...]:
         return self._preferred.get(task_id, ())

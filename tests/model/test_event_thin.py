@@ -250,8 +250,13 @@ def test_fault_detection_within_timeout(kill_at, seed):
     sim.env.process(_killer())
     result = sim.env.run(job.completion)
     assert result.succeeded  # recovery actually happened
-    lost = _lost_time(sim)
     bound = kill_at + CAL.heartbeat_timeout_s + 2 * CAL.heartbeat_interval_s
+    # A late kill can leave the job finishing before the detection
+    # deadline; the declaration contract is about the monitor, not the
+    # job, so give the monitor its full window before asserting.
+    if sim.env.now < bound:
+        sim.env.run(until=bound)
+    lost = _lost_time(sim)
     assert lost <= bound, (kill_at, lost, bound)
     # ...and not spuriously early either: silence shorter than the
     # timeout must never trigger a declaration.
