@@ -12,6 +12,7 @@ from repro.analysis.report import (
     decision_counters_table,
     format_table,
     paper_comparison_rows,
+    serve_jobs_table,
     sweep_summary,
     sweep_timing_table,
 )
@@ -27,6 +28,7 @@ __all__ = [
     "paper_comparison_rows",
     "ratio_between",
     "scaling_efficiency",
+    "serve_jobs_table",
     "sweep_summary",
     "sweep_timing_table",
 ]

@@ -16,6 +16,7 @@ __all__ = [
     "decision_counters_table",
     "format_table",
     "paper_comparison_rows",
+    "serve_jobs_table",
     "series_table",
     "sweep_summary",
     "sweep_timing_table",
@@ -194,3 +195,34 @@ def paper_comparison_rows(
         for claim, paper, measured, holds in claims
     ]
     return format_table(rows, columns=["figure", "claim", "paper", "measured", "holds"])
+
+
+def serve_jobs_table(rows: Sequence[Mapping[str, Any]]) -> str:
+    """The daemon's job table as `repro submit --status` prints it.
+
+    One row per job (admission order), from the snapshot dicts the
+    status verb returns. Optional per-state fields (runtime, sha,
+    error) render as "-" where absent so the table stays rectangular.
+    """
+    if not rows:
+        return "(no jobs)"
+    display = [
+        {
+            "job": r.get("job", "-"),
+            "scenario": r.get("scenario", "-"),
+            "state": r.get("state", "-"),
+            "progress": f"{r.get('done', 0)}/{r.get('total', 0)}",
+            "clients": r.get("clients", 0),
+            "key": r.get("request_key", "-"),
+            "age_s": r.get("age_s", "-"),
+            "runtime_s": r.get("runtime_s", "-"),
+            "sha256": (r["sha256"][:16] if r.get("sha256") else "-"),
+            "error": r.get("error", "-"),
+        }
+        for r in rows
+    ]
+    return format_table(
+        display,
+        columns=["job", "scenario", "state", "progress", "clients", "key",
+                 "age_s", "runtime_s", "sha256", "error"],
+    )

@@ -13,6 +13,10 @@ Run paper experiments and ad-hoc jobs without writing code::
     python -m repro sweep scale --shard 0/4 --out shards/s0  # one host's part
     python -m repro sweep --merge shards/s0 shards/s1 shards/s2 shards/s3
     python -m repro sweep --cache-prune --max-age-days 30
+    python -m repro serve --socket /tmp/repro.sock --workers 4  # daemon
+    python -m repro submit fig8 --grid nodes=2,4 --socket /tmp/repro.sock
+    python -m repro submit --status --socket /tmp/repro.sock
+    python -m repro submit --shutdown --socket /tmp/repro.sock
     python -m repro encrypt --nodes 16 --data-gb 32 --backend cell
     python -m repro pi --nodes 50 --samples 3e12 --backend java
     python -m repro multijob --nodes 8 --jobs 4 --scheduler fair
@@ -165,6 +169,65 @@ def build_parser() -> argparse.ArgumentParser:
                     help="diff the fresh series against <DIR>/<scenario>.json "
                          "and exit non-zero on drift")
     _add_sweep_common(ps)
+
+    pserve = sub.add_parser(
+        "serve",
+        help="run the simulation daemon: concurrent sweep requests over "
+             "a line-JSON protocol, identical requests coalesced",
+        epilog="See docs/SERVING.md for the protocol and guarantees.",
+    )
+    pserve.add_argument("--port", type=int, default=None, metavar="P",
+                        help="listen on TCP port P (0 = OS-assigned); "
+                             "exclusive with --socket")
+    pserve.add_argument("--host", default="127.0.0.1",
+                        help="TCP bind address (default: loopback)")
+    pserve.add_argument("--socket", type=Path, default=None, metavar="PATH",
+                        help="listen on a unix socket at PATH")
+    pserve.add_argument("--workers", type=_positive_int, default=2,
+                        help="pool worker processes shared by all jobs")
+    pserve.add_argument("--cache-dir", type=Path, default=None, metavar="DIR",
+                        help="serve through the sweep/point cache in DIR")
+
+    psub = sub.add_parser(
+        "submit",
+        help="submit a sweep to a running `repro serve` daemon "
+             "(or query/cancel/stop it)",
+        epilog="See docs/SERVING.md for the protocol and guarantees.",
+    )
+    psub.add_argument("scenario", nargs="?", default=None,
+                      help="registered scenario name; optional with "
+                           "--status/--cancel/--shutdown")
+    psub.add_argument("--grid", action="append", default=[],
+                      metavar="KEY=V1,V2,...",
+                      help="override a grid parameter's values or a fixed "
+                           "parameter's value; repeatable")
+    psub.add_argument("--seed", type=int, default=1234,
+                      help="root seed threaded into every simulated point")
+    psub.add_argument("--connect", default=None, metavar="[HOST:]PORT",
+                      help="daemon TCP address; exclusive with --socket")
+    psub.add_argument("--socket", default=None, metavar="PATH",
+                      help="daemon unix socket path")
+    psub.add_argument("--detach", action="store_true",
+                      help="submit and return the job id without waiting "
+                           "(recover the result with --status JOB)")
+    psub.add_argument("--wait", dest="detach", action="store_false",
+                      help="stream progress and wait for the result "
+                           "(the default)")
+    psub.add_argument("--status", nargs="?", const="", default=None,
+                      metavar="JOB",
+                      help="print the daemon's job table (or one job; a "
+                           "finished job's payload is saved with --out)")
+    psub.add_argument("--cancel", default=None, metavar="JOB",
+                      help="cancel a queued or running job")
+    psub.add_argument("--shutdown", nargs="?", const="graceful", default=None,
+                      choices=["graceful", "now"], metavar="MODE",
+                      help="stop the daemon (graceful drains running jobs; "
+                           "now cancels them)")
+    psub.add_argument("--out", type=Path, default=None, metavar="DIR",
+                      help="save the served result like `repro sweep --out` "
+                           "(byte-identical files)")
+    psub.add_argument("-v", "--verbose", action="store_true",
+                      help="print each point completion as it streams in")
 
     pe = sub.add_parser("encrypt", help="one distributed encryption job")
     pe.add_argument("--nodes", type=int, default=8)
@@ -392,6 +455,152 @@ def _cmd_sweep(args, out) -> int:
     return 0
 
 
+def _cmd_serve(args, out) -> int:
+    from repro.serve import ReproServer
+
+    if (args.port is None) == (args.socket is None):
+        print("error: exactly one of --port and --socket is required", file=out)
+        return 2
+    server = ReproServer(
+        port=args.port,
+        socket_path=args.socket,
+        host=args.host,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+    )
+    server.start()
+    cache = f", cache {args.cache_dir}" if args.cache_dir else ""
+    print(f"repro serve: listening on {server.endpoint()} "
+          f"({server.workers} worker(s){cache}); stop with "
+          f"`repro submit --shutdown`", file=out)
+    out.flush()
+    try:
+        server.wait()
+    except KeyboardInterrupt:
+        server.shutdown(mode="now")
+    print("repro serve: shut down cleanly", file=out)
+    return 0
+
+
+def _print_served_result(event, args, out) -> int:
+    import json as _json
+
+    from repro.experiments.driver import SweepResult
+
+    result = SweepResult.from_dict(_json.loads(event["payload"]))
+    _print_series(result.series, result.xlabel, result.ylabel, result.title, out)
+    print(file=out)
+    print(sweep_summary(result.series, x_name=result.xlabel), file=out)
+    print(file=out)
+    origin = ("whole-sweep cache" if event.get("cache_hit")
+              else f"{event.get('executed_points', 0)} executed, "
+                   f"{event.get('cached_points', 0)} from point cache")
+    print(f"served {result.scenario}: {len(result.points)} points "
+          f"({origin}), sha256 {event['sha256'][:16]}", file=out)
+    if args.out is not None:
+        paths = save_sweep(result, args.out)
+        print(f"wrote {paths['json']} {paths['csv']} {paths['meta']}", file=out)
+    return 0
+
+
+def _cmd_submit(args, out) -> int:
+    # Exit codes mirror `repro sweep`: 0 served, 2 usage/protocol error,
+    # 3 job cancelled, 1 job failed.
+    from repro.analysis.report import serve_jobs_table
+    from repro.serve import Address, ProtocolError, protocol, request_one, request_stream
+
+    try:
+        address = Address.parse(args.connect, args.socket)
+    except ValueError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
+
+    control = [opt for opt in ("status", "cancel", "shutdown")
+               if getattr(args, opt) is not None]
+    if len(control) > 1 or (control and args.scenario is not None):
+        print("error: --status/--cancel/--shutdown are exclusive control "
+              "verbs and take no scenario", file=out)
+        return 2
+
+    try:
+        if args.status is not None:
+            msg = {"verb": "status"}
+            if args.status:
+                msg["job"] = args.status
+            event = request_one(address, msg)
+            if event.get("event") == "error":
+                print(f"error: {event['message']}", file=out)
+                return 2
+            print(serve_jobs_table(event["jobs"]), file=out)
+            stats = event["stats"]
+            print(file=out)
+            print(f"daemon: {stats['active_jobs']} active / {stats['jobs']} "
+                  f"job(s), {stats['coalesced_submits']} coalesced submit(s), "
+                  f"{stats['points_executed']} point(s) executed, "
+                  f"{stats['cache_hits']} cache hit(s), "
+                  f"{stats['workers']} worker(s), "
+                  f"up {stats['uptime_s']:.1f}s", file=out)
+            row = event["jobs"][0] if args.status and event["jobs"] else None
+            if row is not None and "payload" in row and args.out is not None:
+                return _print_served_result(
+                    {**row, "event": "result", "payload": row["payload"]},
+                    args, out)
+            return 0
+        if args.cancel is not None:
+            event = request_one(address, {"verb": "cancel", "job": args.cancel})
+            print(f"cancel {args.cancel}: {event['state']}", file=out)
+            return 0 if event.get("ok") else 2
+        if args.shutdown is not None:
+            event = request_one(
+                address, {"verb": "shutdown", "mode": args.shutdown})
+            print(f"shutdown ({args.shutdown}): "
+                  f"{'ok' if event.get('ok') else event}", file=out)
+            return 0 if event.get("ok") else 2
+
+        if args.scenario is None:
+            print("error: a scenario name is required unless --status/"
+                  "--cancel/--shutdown is given", file=out)
+            return 2
+        try:
+            overrides = parse_grid_overrides(args.grid)
+        except GridError as exc:
+            msg = exc.args[0] if exc.args else str(exc)
+            print(f"error: {msg}", file=out)
+            return 2
+        request = protocol.submit_request(
+            args.scenario, overrides, seed=args.seed, detach=args.detach
+        )
+        for event in request_stream(address, request):
+            kind = event.get("event")
+            if kind == "accepted":
+                via = " (coalesced onto in-flight job)" if event["coalesced"] else ""
+                print(f"accepted {event['job']}{via}: {event['done']}/"
+                      f"{event['total']} points, key "
+                      f"{event['request_key'][:16]}", file=out)
+                if args.detach:
+                    print(f"detached; poll with: repro submit --status "
+                          f"{event['job']}", file=out)
+                    return 0
+            elif kind == "point" and args.verbose:
+                params = " ".join(f"{k}={v}" for k, v in event["params"].items())
+                print(f"  point {event['done']}/{event['total']}: {params}",
+                      file=out)
+            elif kind == "result":
+                return _print_served_result(event, args, out)
+            elif kind == "cancelled":
+                print(f"job {event['job']} cancelled", file=out)
+                return 3
+            elif kind == "error":
+                print(f"error: {event['message']}", file=out)
+                return 1 if "job" in event else 2
+        print("error: server closed the connection without a terminal event",
+              file=out)
+        return 2
+    except (OSError, ProtocolError) as exc:
+        print(f"error: cannot reach daemon at {address}: {exc}", file=out)
+        return 2
+
+
 def _cluster_mix(backend: Backend) -> dict:
     """Node-hardware mix implied by the chosen backend: the gpu alias
     needs GPU-equipped (not Cell-equipped) workers to schedule onto."""
@@ -470,6 +679,10 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _cmd_fig(args, out)
     if args.command == "sweep":
         return _cmd_sweep(args, out)
+    if args.command == "serve":
+        return _cmd_serve(args, out)
+    if args.command == "submit":
+        return _cmd_submit(args, out)
     if args.command == "encrypt":
         return _cmd_encrypt(args, out)
     if args.command == "pi":

@@ -35,20 +35,33 @@ Entries are one JSON file each, ``<scenario>-<key16>.json``, holding
 the full key and the canonical payload. A hit reconstructs the result
 without running a single simulation; a corrupt or mismatched entry is
 treated as a miss and overwritten.
+
+**Concurrent access.** A long-lived ``repro serve`` daemon reads and
+writes this cache while ``repro sweep --cache-prune`` (or another
+sweep) races it, so every path here is safe against files appearing,
+vanishing, or being replaced mid-operation: writes go through a
+same-directory temp file plus :func:`os.replace` (readers see the old
+bytes or the new bytes, never a torn file), reads treat a vanished or
+unreadable entry as a miss, and :func:`prune_cache` tolerates entries
+deleted under its feet. :class:`InflightRegistry` is the in-process
+complement: a thread-safe map of request keys to live computations, so
+concurrent identical requests coalesce onto one run instead of racing
+each other to the same entry.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
+import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Mapping, Optional, Union
+from typing import Any, Callable, Mapping, Optional, TypeVar, Union
 
 import repro.modelmode as modelmode
 import repro.sim.engine as engine
-from repro.analysis.series import Series
 from repro.experiments.driver import SweepResult, run_sweep
 from repro.experiments.pool import SweepPool
 from repro.experiments.registry import get_scenario
@@ -56,6 +69,7 @@ from repro.experiments.scenario import Scenario
 from repro.perf.calibration import PAPER_CALIBRATION
 
 __all__ = [
+    "InflightRegistry",
     "PointCache",
     "PruneStats",
     "TimingStore",
@@ -106,6 +120,64 @@ def _code_version() -> Optional[str]:
 def _hash_request(request: dict[str, Any]) -> str:
     blob = json.dumps(request, sort_keys=True, separators=(",", ":"), default=repr)
     return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    """Publish ``text`` at ``path`` all-or-nothing: a same-directory temp
+    file + :func:`os.replace`, so a concurrent reader (another sweep, a
+    serving daemon) sees the previous entry or the new one, never a
+    half-written file."""
+    tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+
+
+_T = TypeVar("_T")
+
+
+class InflightRegistry:
+    """Thread-safe map of request key → live computation.
+
+    The admission/coalescing primitive the serving layer builds on:
+    :meth:`claim` either returns the existing in-flight entry for a key
+    (attach — the caller shares that computation's result) or invokes
+    ``factory`` under the lock and registers the fresh entry (the caller
+    owns the execution). :meth:`release` removes a finished entry, after
+    which an identical request starts a new computation — typically a
+    whole-sweep cache hit.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._live: dict[str, Any] = {}
+
+    def claim(self, key: str, factory: Callable[[], _T]) -> tuple[_T, bool]:
+        """``(entry, created)``: attach to the in-flight entry for
+        ``key``, or create and register one via ``factory``."""
+        with self._lock:
+            entry = self._live.get(key)
+            if entry is not None:
+                return entry, False
+            entry = factory()
+            self._live[key] = entry
+            return entry, True
+
+    def get(self, key: str) -> Optional[Any]:
+        with self._lock:
+            return self._live.get(key)
+
+    def release(self, key: str, entry: Any) -> bool:
+        """Drop ``key`` if it still maps to ``entry`` (a stale release
+        must never evict a newer computation that reused the key)."""
+        with self._lock:
+            if self._live.get(key) is entry:
+                del self._live[key]
+                return True
+            return False
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._live)
 
 
 def request_key(
@@ -174,12 +246,16 @@ def store_cached(result: SweepResult, cache_dir: Path, key: str) -> Path:
     path = cache_path(cache_dir, result.scenario, key)
     path.parent.mkdir(parents=True, exist_ok=True)
     entry = {"format": _FORMAT, "key": key, "result": result.canonical_dict()}
-    path.write_text(json.dumps(entry, sort_keys=True, indent=2) + "\n")
+    _atomic_write(path, json.dumps(entry, sort_keys=True, indent=2) + "\n")
     return path
 
 
 def load_cached(cache_dir: Path, scenario: Scenario, key: str) -> Optional[SweepResult]:
-    """Rebuild a stored result, or None on miss/corruption/key mismatch."""
+    """Rebuild a stored result, or None on miss/corruption/key mismatch.
+
+    A file that vanishes between the existence check and the read — a
+    concurrent prune — is a miss too, not an error.
+    """
     path = cache_path(cache_dir, scenario, key)
     if not path.exists():
         return None
@@ -187,32 +263,9 @@ def load_cached(cache_dir: Path, scenario: Scenario, key: str) -> Optional[Sweep
         entry = json.loads(path.read_text())
         if entry.get("format") != _FORMAT or entry.get("key") != key:
             return None
-        return _result_from_dict(entry["result"])
-    except (ValueError, KeyError, TypeError):
-        return None  # unreadable entry == miss; the rerun overwrites it
-
-
-def _result_from_dict(d: dict[str, Any]) -> SweepResult:
-    points = list(d["points"])
-    return SweepResult(
-        scenario=d["scenario"],
-        title=d["title"],
-        seed=d["seed"],
-        x=d["x"],
-        xlabel=d["xlabel"],
-        ylabel=d["ylabel"],
-        grid={k: list(v) for k, v in d["grid"].items()},
-        defaults=dict(d["defaults"]),
-        points=points,
-        series=[
-            Series(label=s["label"], xs=list(s["xs"]), ys=list(s["ys"]))
-            for s in d["series"]
-        ],
-        workers=0,  # nothing ran
-        elapsed_s=0.0,
-        executed_points=0,
-        cached_points=len(points),
-    )
+        return SweepResult.from_dict(entry["result"])
+    except (OSError, ValueError, KeyError, TypeError):
+        return None  # unreadable/vanished entry == miss; the rerun overwrites it
 
 
 class PointCache:
@@ -252,8 +305,10 @@ class PointCache:
                 return None
             values = entry["values"]
             return dict(values) if isinstance(values, dict) else None
-        except (ValueError, KeyError, TypeError):
-            return None  # unreadable entry == miss; the rerun overwrites it
+        except (OSError, ValueError, KeyError, TypeError):
+            # Unreadable == miss; OSError covers an entry pruned away
+            # between the existence check and the read.
+            return None
 
     def store(self, name: str, key: str, values: Mapping[str, float]) -> Path:
         path = self._path(name, key)
@@ -264,7 +319,7 @@ class PointCache:
             "scenario": name,
             "values": dict(values),
         }
-        path.write_text(json.dumps(entry, sort_keys=True, indent=2) + "\n")
+        _atomic_write(path, json.dumps(entry, sort_keys=True, indent=2) + "\n")
         return path
 
 
@@ -339,8 +394,8 @@ class TimingStore:
         # No sort_keys: JSON objects round-trip in insertion order, and
         # insertion order *is* the recency order the cap evicts by —
         # sorting here would reset eviction to alphabetical on reload.
-        self.path.write_text(
-            json.dumps({"format": 1, "elapsed_s": data}, indent=2) + "\n"
+        _atomic_write(
+            self.path, json.dumps({"format": 1, "elapsed_s": data}, indent=2) + "\n"
         )
         self._dirty = False
 
@@ -376,9 +431,15 @@ def prune_cache(
     now = time.time() if now is None else now
     entries: list[tuple[float, int, Path]] = []
     for root in (cache_dir, cache_dir / "points"):
-        if not root.is_dir():
+        # Everything below tolerates a racing writer/pruner: the listing
+        # may name entries that vanish before they are statted (skip) or
+        # unlinked (already counted gone), and the directory itself may
+        # disappear mid-scan.
+        try:
+            listing = sorted(root.glob("*.json")) if root.is_dir() else []
+        except OSError:
             continue
-        for path in sorted(root.glob("*.json")):
+        for path in listing:
             if path == cache_dir / "timings.json":
                 continue
             try:

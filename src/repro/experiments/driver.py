@@ -44,7 +44,7 @@ from repro.experiments.pool import SweepPool, shared_pool
 from repro.experiments.registry import get_scenario
 from repro.experiments.scenario import Scenario
 
-__all__ = ["SweepResult", "run_sweep"]
+__all__ = ["SweepResult", "build_result", "run_sweep"]
 
 
 @dataclass
@@ -115,6 +115,32 @@ class SweepResult:
 
     def sha256(self) -> str:
         return hashlib.sha256(self.canonical_json().encode()).hexdigest()
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "SweepResult":
+        """Rebuild a result from a canonical dict — a stored cache entry
+        or a served payload. Nothing ran locally, so the run metadata
+        reflects that: zero workers, every point counted as assembled."""
+        points = list(d["points"])
+        return cls(
+            scenario=d["scenario"],
+            title=d["title"],
+            seed=d["seed"],
+            x=d["x"],
+            xlabel=d["xlabel"],
+            ylabel=d["ylabel"],
+            grid={k: list(v) for k, v in d["grid"].items()},
+            defaults=dict(d["defaults"]),
+            points=points,
+            series=[
+                Series(label=s["label"], xs=list(s["xs"]), ys=list(s["ys"]))
+                for s in d["series"]
+            ],
+            workers=0,
+            elapsed_s=0.0,
+            executed_points=0,
+            cached_points=len(points),
+        )
 
 
 def _run_point_task(task: tuple) -> tuple[int, dict[str, float], float]:
@@ -272,9 +298,41 @@ def run_sweep(
         timings.flush()
     elapsed = time.perf_counter() - t0
 
+    return build_result(
+        sc,
+        results,
+        point_elapsed,
+        workers=effective_workers,
+        elapsed_s=elapsed,
+        start_method=start_method,
+        executed_points=len(pending),
+        cached_points=cached,
+    )
+
+
+def build_result(
+    sc: Scenario,
+    results: list,
+    point_elapsed: list,
+    *,
+    workers: int,
+    elapsed_s: float,
+    start_method: Optional[str] = None,
+    executed_points: int = 0,
+    cached_points: int = 0,
+) -> SweepResult:
+    """Assemble per-point values into a :class:`SweepResult`.
+
+    The one definition of how canonical rows and series come together —
+    shared by :func:`run_sweep` and the serving layer
+    (:mod:`repro.serve`), so served payloads are byte-identical to
+    offline sweeps by construction, not by parallel maintenance.
+    ``results`` holds one value dict per canonical grid point; a row
+    whose ``point_elapsed`` entry is None is marked cache-assembled.
+    """
     series = sc.assemble(results)  # raises if any point went missing
     point_rows = []
-    for i, (cfg, values) in enumerate(zip(points, results)):
+    for i, (cfg, values) in enumerate(zip(sc.points(), results)):
         row: dict[str, Any] = {
             "params": {k: v for k, v in cfg.items() if k != "seed"},
             "values": values,
@@ -295,9 +353,9 @@ def run_sweep(
         defaults=dict(sc.defaults),
         points=point_rows,
         series=series,
-        workers=effective_workers,
-        elapsed_s=elapsed,
+        workers=workers,
+        elapsed_s=elapsed_s,
         start_method=start_method,
-        executed_points=len(pending),
-        cached_points=cached,
+        executed_points=executed_points,
+        cached_points=cached_points,
     )

@@ -25,6 +25,13 @@ Two wrinkles the pool handles:
   :func:`repro.experiments.registry.epoch`; the pool notices on its
   next use and transparently respawns, so late-registered scenarios
   always resolve in workers.
+- **Concurrent callers.** The ``repro serve`` daemon multiplexes many
+  concurrent jobs onto one pool from multiple threads, so the pool's
+  lifecycle (lazy spawn, registry respawn, close) is guarded by a lock.
+  The underlying ``multiprocessing.Pool`` task queue is itself
+  thread-safe, so interleaved ``imap_unordered``/``apply_async`` calls
+  from different threads share the workers without perturbing results —
+  dispatch order was never canonical to begin with.
 """
 
 from __future__ import annotations
@@ -32,6 +39,7 @@ from __future__ import annotations
 import atexit
 import multiprocessing
 import os
+import threading
 from typing import Any, Callable, Iterable, Iterator, Optional
 
 from repro.experiments import registry
@@ -87,6 +95,7 @@ class SweepPool:
         self.start_method = resolve_start_method(start_method)
         self._pool: Optional[multiprocessing.pool.Pool] = None
         self._registry_epoch: Optional[int] = None
+        self._lock = threading.Lock()
 
     @property
     def started(self) -> bool:
@@ -95,14 +104,17 @@ class SweepPool:
     def _ensure(self) -> multiprocessing.pool.Pool:
         # Forked children snapshot the registry; respawn when it grew so
         # scenarios registered after the fork still resolve in workers.
-        epoch = registry.epoch()
-        if self._pool is not None and self._registry_epoch != epoch:
-            self.close()
-        if self._pool is None:
-            ctx = multiprocessing.get_context(self.start_method)
-            self._pool = ctx.Pool(processes=self.workers)
-            self._registry_epoch = epoch
-        return self._pool
+        # Locked: concurrent server threads must never double-spawn or
+        # respawn a pool out from under each other.
+        with self._lock:
+            epoch = registry.epoch()
+            if self._pool is not None and self._registry_epoch != epoch:
+                self._close_locked()
+            if self._pool is None:
+                ctx = multiprocessing.get_context(self.start_method)
+                self._pool = ctx.Pool(processes=self.workers)
+                self._registry_epoch = epoch
+            return self._pool
 
     def imap_unordered(
         self, fn: Callable[[Any], Any], tasks: Iterable[Any]
@@ -110,6 +122,23 @@ class SweepPool:
         """Stream ``fn(task)`` results in completion order (chunksize 1,
         so long tasks never serialize short ones behind them)."""
         return self._ensure().imap_unordered(fn, tasks, chunksize=1)
+
+    def apply_async(
+        self,
+        fn: Callable[..., Any],
+        args: tuple = (),
+        callback: Optional[Callable[[Any], None]] = None,
+        error_callback: Optional[Callable[[BaseException], None]] = None,
+    ):
+        """Submit one task and return its ``AsyncResult``.
+
+        The serving layer's dispatch primitive: one task per call keeps
+        at most a pool's worth of work in flight, so a cancelled job
+        stops costing workers after the current wave instead of after
+        the whole grid (``imap_unordered`` queues everything eagerly)."""
+        return self._ensure().apply_async(
+            fn, args, callback=callback, error_callback=error_callback
+        )
 
     def worker_pids(self) -> list[int]:
         """PIDs of the live worker processes (empty before first use) —
@@ -121,6 +150,10 @@ class SweepPool:
 
     def close(self) -> None:
         """Tear the workers down; the next use respawns them."""
+        with self._lock:
+            self._close_locked()
+
+    def _close_locked(self) -> None:
         if self._pool is not None:
             self._pool.terminate()
             self._pool.join()
@@ -138,22 +171,27 @@ class SweepPool:
 #: defaults to these, so the CLI, the perf harness, and the golden/sweep
 #: tests all amortize worker startup without any explicit plumbing.
 _SHARED: dict[tuple[int, str], SweepPool] = {}
+_SHARED_LOCK = threading.Lock()
 
 
 def shared_pool(workers: int, start_method: Optional[str] = None) -> SweepPool:
     """The session-wide persistent pool for ``workers`` processes."""
     method = resolve_start_method(start_method)
     key = (workers, method)
-    pool = _SHARED.get(key)
-    if pool is None:
-        pool = _SHARED[key] = SweepPool(workers, method)
-    return pool
+    with _SHARED_LOCK:
+        pool = _SHARED.get(key)
+        if pool is None:
+            pool = _SHARED[key] = SweepPool(workers, method)
+        return pool
 
 
 def close_shared_pools() -> None:
     """Terminate every shared pool (also runs at interpreter exit)."""
-    while _SHARED:
-        _, pool = _SHARED.popitem()
+    while True:
+        with _SHARED_LOCK:
+            if not _SHARED:
+                return
+            _, pool = _SHARED.popitem()
         pool.close()
 
 

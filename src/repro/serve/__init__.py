@@ -1,0 +1,36 @@
+"""Simulation-as-a-service: the ``repro serve`` daemon and its client.
+
+A long-running process that accepts concurrent simulation/sweep
+requests over a line-delimited JSON protocol (TCP or unix socket),
+multiplexes them onto one shared persistent worker pool, coalesces
+identical concurrent requests onto a single computation, and streams
+per-point progress plus a final payload that is byte-identical to what
+the offline ``repro sweep`` command writes.
+
+Layering:
+
+- :mod:`repro.serve.protocol` — wire format and request validation;
+- :mod:`repro.serve.jobs` — job state machine, coalescing admission,
+  subscriber fan-out (socket-free, fake-clock testable);
+- :mod:`repro.serve.server` — the daemon: listener, connection
+  handlers, pool-backed executors;
+- :mod:`repro.serve.client` — the thin client ``repro submit`` uses.
+"""
+
+from repro.serve.client import Address, request_one, request_stream, wait_for_server
+from repro.serve.jobs import Job, JobRequest, JobTable
+from repro.serve.protocol import PROTOCOL_VERSION, ProtocolError
+from repro.serve.server import ReproServer
+
+__all__ = [
+    "Address",
+    "Job",
+    "JobRequest",
+    "JobTable",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ReproServer",
+    "request_one",
+    "request_stream",
+    "wait_for_server",
+]

@@ -270,3 +270,119 @@ def test_point_cache_respects_engine_and_model_modes(tmp_path):
     finally:
         modelmode.set_model_reference(prev)
     assert not hit and mod.executed_points == 9
+
+
+# -- concurrent access (a daemon racing a prune or another sweep) ------------
+
+def test_point_get_tolerates_entry_vanishing_into_unreadability(tmp_path):
+    """exists() said yes but the read fails (pruned and replaced between
+    check and read): a miss, never an exception or a wrong hit."""
+    sc = get_scenario("_test_synth")
+    cache = PointCache(tmp_path)
+    key, _ = cache.lookup(sc, sc.points()[0])
+    path = cache.store(sc.name, key, {"y": 2.0})
+    path.unlink()
+    path.mkdir()  # exists() is True, read_text() raises OSError
+    assert cache.get(sc.name, key) is None
+
+
+def test_load_cached_tolerates_unreadable_entry(tmp_path):
+    from repro.experiments.cache import load_cached, store_cached
+
+    sc = get_scenario("_test_synth")
+    result, _ = cached_sweep(sc, workers=1, cache_dir=tmp_path)
+    key = request_key(sc)
+    path = cache_path(tmp_path, sc, key)
+    assert load_cached(tmp_path, sc, key) is not None
+    path.unlink()
+    path.mkdir()
+    assert load_cached(tmp_path, sc, key) is None
+
+
+def test_prune_tolerates_entries_vanishing_mid_scan(tmp_path, monkeypatch):
+    """An entry deleted between the directory listing and its stat (a
+    racing daemon or second pruner) is skipped, not fatal."""
+    from pathlib import Path
+
+    cached_sweep("_test_synth", workers=1, cache_dir=tmp_path)
+    victims = {p.name for p in list(tmp_path.glob("*-*.json"))[:1]} | \
+        {p.name for p in list((tmp_path / "points").glob("*.json"))[:2]}
+    assert len(victims) == 3
+    real_stat = Path.stat
+
+    def racing_stat(self, **kw):
+        if self.name in victims:
+            raise FileNotFoundError(str(self))
+        return real_stat(self, **kw)
+
+    monkeypatch.setattr(Path, "stat", racing_stat)
+    stats = prune_cache(tmp_path, max_age_days=0.0, now=__import__("time").time() + 10)
+    # The three racing entries were skipped; everything else pruned.
+    assert stats.removed == stats.scanned
+    assert stats.scanned > 0
+
+
+def test_prune_tolerates_unlink_races(tmp_path, monkeypatch):
+    """Losing the unlink race (the other pruner got there first) counts
+    the entry as already gone instead of crashing."""
+    from pathlib import Path
+
+    cached_sweep("_test_synth", workers=1, cache_dir=tmp_path)
+    real_unlink = Path.unlink
+    stolen = []
+
+    def racing_unlink(self, **kw):
+        if self.suffix == ".json" and not stolen:
+            stolen.append(self.name)
+            real_unlink(self)  # the racing pruner wins...
+            raise FileNotFoundError(str(self))  # ...and we lose
+        return real_unlink(self, **kw)
+
+    monkeypatch.setattr(Path, "unlink", racing_unlink)
+    stats = prune_cache(tmp_path, max_age_days=0.0,
+                        now=__import__("time").time() + 10)
+    assert stolen  # the race actually happened
+    assert stats.removed == stats.scanned - 1
+
+
+def test_store_get_prune_thread_stress(tmp_path):
+    """A writer/reader thread races a pruning thread over one cache
+    directory; nothing may raise and reads are always a hit with the
+    stored values or a clean miss."""
+    import threading
+
+    sc = get_scenario("_test_synth")
+    cache = PointCache(tmp_path)
+    cfgs = sc.points()
+    errors = []
+    stop = threading.Event()
+
+    def churn():
+        try:
+            for round_ in range(30):
+                for cfg in cfgs:
+                    key, hit = cache.lookup(sc, cfg)
+                    if hit is not None and hit != {"y": 1.0}:
+                        errors.append(f"torn read: {hit}")
+                    cache.store(sc.name, key, {"y": 1.0})
+        except Exception as exc:  # noqa: BLE001
+            errors.append(f"churn: {type(exc).__name__}: {exc}")
+        finally:
+            stop.set()
+
+    def pruner():
+        import time as time_mod
+
+        try:
+            while not stop.is_set():
+                prune_cache(tmp_path, max_age_days=0.0,
+                            now=time_mod.time() + 10)
+        except Exception as exc:  # noqa: BLE001
+            errors.append(f"prune: {type(exc).__name__}: {exc}")
+
+    threads = [threading.Thread(target=churn), threading.Thread(target=pruner)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60)
+    assert not errors, errors

@@ -1,0 +1,69 @@
+"""Shared fixtures for the serving tests.
+
+Registers two synthetic scenarios once per session (``replace=True``
+keeps re-imports benign) with module-level point functions so forked
+pool workers resolve them by reference:
+
+- ``_serve_synth`` — pure arithmetic, fast: exercises protocol,
+  coalescing accounting, and byte-identity without simulation cost.
+- ``_serve_slow`` — sleeps per point: keeps jobs in flight long enough
+  for concurrent submits to coalesce and for cancels to land mid-run.
+
+The ``server`` fixture boots a daemon on a per-test unix socket with a
+dedicated two-worker pool and guarantees teardown even when a test
+fails mid-stream.
+"""
+
+import time
+
+import pytest
+
+from repro.experiments import Scenario, register
+from repro.serve import Address, ReproServer
+
+
+def serve_synth_point(cfg):
+    return {"y": cfg["k"] * cfg["scale"] + cfg["seed"] / 7.0}
+
+
+def serve_slow_point(cfg):
+    time.sleep(cfg["delay_s"])
+    return {"y": cfg["k"] * 2.0 + cfg["seed"] / 11.0}
+
+
+SYNTH = register(Scenario(
+    name="_serve_synth",
+    title="serve synthetic",
+    description="serving test scenario (fast)",
+    run_point=serve_synth_point,
+    grid={"k": tuple(range(6))},
+    x="k",
+    curves=("y",),
+    defaults={"scale": 3.0},
+), replace=True)
+
+SLOW = register(Scenario(
+    name="_serve_slow",
+    title="serve slow",
+    description="serving test scenario (sleeps per point)",
+    run_point=serve_slow_point,
+    grid={"k": tuple(range(8))},
+    x="k",
+    curves=("y",),
+    defaults={"delay_s": 0.15},
+), replace=True)
+
+
+@pytest.fixture
+def server(tmp_path):
+    srv = ReproServer(socket_path=tmp_path / "repro.sock", workers=2)
+    srv.start()
+    try:
+        yield srv
+    finally:
+        srv.close()
+
+
+@pytest.fixture
+def address(server):
+    return Address(socket_path=server.socket_path)
