@@ -11,10 +11,13 @@ from repro.analysis.shapes import (
 from repro.analysis.report import (
     decision_counters_table,
     format_table,
+    metrics_snapshot_table,
     paper_comparison_rows,
     serve_jobs_table,
+    sweep_metrics_table,
     sweep_summary,
     sweep_timing_table,
+    timeseries_summary_table,
 )
 
 __all__ = [
@@ -25,10 +28,13 @@ __all__ = [
     "format_table",
     "is_monotonic",
     "log_slope",
+    "metrics_snapshot_table",
     "paper_comparison_rows",
     "ratio_between",
     "scaling_efficiency",
     "serve_jobs_table",
+    "sweep_metrics_table",
     "sweep_summary",
     "sweep_timing_table",
+    "timeseries_summary_table",
 ]

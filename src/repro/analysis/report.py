@@ -15,11 +15,14 @@ from repro.analysis.series import Series
 __all__ = [
     "decision_counters_table",
     "format_table",
+    "metrics_snapshot_table",
     "paper_comparison_rows",
     "serve_jobs_table",
     "series_table",
+    "sweep_metrics_table",
     "sweep_summary",
     "sweep_timing_table",
+    "timeseries_summary_table",
 ]
 
 
@@ -177,6 +180,102 @@ def sweep_timing_table(points: Sequence[Mapping[str, Any]], top: int = 0) -> str
     if cached:
         trailer.append(f"(+{cached} point(s) assembled from cache)")
     return "\n".join([table, *trailer])
+
+
+def _metric_label_rows(snap: Mapping[str, Any]):
+    """Yield ``(labels_str, value)`` per labelled value of one metric's
+    snapshot dict (label keys are comma-joined label values)."""
+    label_names = snap.get("labels") or []
+    for key, value in snap.get("values", {}).items():
+        if label_names:
+            labels = " ".join(
+                f"{n}={v}" for n, v in zip(label_names, key.split(","))
+            )
+        else:
+            labels = "-"
+        yield labels, value
+
+
+def metrics_snapshot_table(snapshot: Mapping[str, Any]) -> str:
+    """Counters, gauges, and histograms of one registry snapshot
+    (:meth:`repro.obs.MetricsRegistry.snapshot`) as a table — the body
+    of ``repro metrics <scenario>``. Histogram rows compress to
+    ``n/sum/mean``; the full bucket layout lives in the Prometheus
+    exposition."""
+    rows = []
+    for name in sorted(snapshot):
+        snap = snapshot[name]
+        kind = snap.get("kind")
+        if kind not in ("counter", "gauge", "histogram"):
+            continue
+        for labels, value in _metric_label_rows(snap):
+            if kind == "histogram":
+                mean = value["sum"] / value["count"] if value["count"] else 0.0
+                shown = (f"n={value['count']} sum={_fmt(float(value['sum']))} "
+                         f"mean={_fmt(mean)}")
+            else:
+                shown = _fmt(float(value))
+            rows.append({"metric": name, "kind": kind,
+                         "labels": labels, "value": shown})
+    if not rows:
+        return "(no metrics recorded)"
+    return format_table(rows, columns=["metric", "kind", "labels", "value"])
+
+
+def timeseries_summary_table(snapshot: Mapping[str, Any]) -> str:
+    """Virtual-time series digest: samples, time range, min/mean/max/
+    last — the inside-the-simulation view ``repro metrics`` prints
+    under the counter table."""
+    rows = []
+    for name in sorted(snapshot):
+        snap = snapshot[name]
+        if snap.get("kind") != "timeseries":
+            continue
+        for labels, pts in _metric_label_rows(snap):
+            if not pts:
+                continue
+            vals = [float(v) for _, v in pts]
+            rows.append({
+                "series": name,
+                "labels": labels,
+                "samples": len(pts),
+                "t range": f"{_fmt(float(pts[0][0]))}..{_fmt(float(pts[-1][0]))}",
+                "min": min(vals),
+                "mean": sum(vals) / len(vals),
+                "max": max(vals),
+                "last": vals[-1],
+            })
+    if not rows:
+        return "(no virtual-time series)"
+    return format_table(rows, columns=["series", "labels", "samples",
+                                       "t range", "min", "mean", "max", "last"])
+
+
+def sweep_metrics_table(points: Sequence[Mapping[str, Any]]) -> str:
+    """Counter totals aggregated across a sweep's per-point metrics
+    snapshots (rows carry a non-canonical ``metrics`` entry when the
+    sweep ran with ``collect_metrics=True``, i.e. ``repro sweep -v``).
+    Returns ``""`` when no point carried a snapshot."""
+    totals: dict[tuple[str, str], float] = {}
+    instrumented = 0
+    for p in points:
+        snapshot = p.get("metrics")
+        if not snapshot:
+            continue
+        instrumented += 1
+        for name in snapshot:
+            snap = snapshot[name]
+            if snap.get("kind") != "counter":
+                continue
+            for labels, value in _metric_label_rows(snap):
+                key = (name, labels)
+                totals[key] = totals.get(key, 0.0) + float(value)
+    if not totals:
+        return ""
+    rows = [{"metric": name, "labels": labels, "total": total}
+            for (name, labels), total in sorted(totals.items())]
+    table = format_table(rows, columns=["metric", "labels", "total"])
+    return f"metrics over {instrumented} instrumented point(s):\n{table}"
 
 
 def paper_comparison_rows(

@@ -17,6 +17,8 @@ Run paper experiments and ad-hoc jobs without writing code::
     python -m repro submit fig8 --grid nodes=2,4 --socket /tmp/repro.sock
     python -m repro submit --status --socket /tmp/repro.sock
     python -m repro submit --shutdown --socket /tmp/repro.sock
+    python -m repro trace fig8 --grid nodes=2 --out trace.json  # Perfetto
+    python -m repro metrics fig8 --grid nodes=2     # telemetry report
     python -m repro encrypt --nodes 16 --data-gb 32 --backend cell
     python -m repro pi --nodes 50 --samples 3e12 --backend java
     python -m repro multijob --nodes 8 --jobs 4 --scheduler fair
@@ -36,8 +38,20 @@ import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
-from repro.analysis import Series, ascii_chart, sweep_summary, sweep_timing_table
-from repro.analysis.report import decision_counters_table, format_table, series_table
+from repro.analysis import (
+    Series,
+    ascii_chart,
+    sweep_metrics_table,
+    sweep_summary,
+    sweep_timing_table,
+)
+from repro.analysis.report import (
+    decision_counters_table,
+    format_table,
+    metrics_snapshot_table,
+    series_table,
+    timeseries_summary_table,
+)
 from repro.experiments import (
     GridError,
     all_scenarios,
@@ -187,6 +201,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="pool worker processes shared by all jobs")
     pserve.add_argument("--cache-dir", type=Path, default=None, metavar="DIR",
                         help="serve through the sweep/point cache in DIR")
+    pserve.add_argument("--log-level", choices=["debug", "info", "warning",
+                                                "error"], default="info",
+                        help="structured-log threshold on stderr "
+                             "(default: info)")
+    pserve.add_argument("--log-json", action="store_true",
+                        help="emit one JSON object per log line instead of "
+                             "key=value text")
 
     psub = sub.add_parser(
         "submit",
@@ -223,11 +244,51 @@ def build_parser() -> argparse.ArgumentParser:
                       choices=["graceful", "now"], metavar="MODE",
                       help="stop the daemon (graceful drains running jobs; "
                            "now cancels them)")
+    psub.add_argument("--metrics", action="store_true",
+                      help="print the daemon's Prometheus text exposition "
+                           "and exit")
     psub.add_argument("--out", type=Path, default=None, metavar="DIR",
                       help="save the served result like `repro sweep --out` "
                            "(byte-identical files)")
     psub.add_argument("-v", "--verbose", action="store_true",
                       help="print each point completion as it streams in")
+
+    ptr = sub.add_parser(
+        "trace",
+        help="run one grid point with span tracing on and export a "
+             "Chrome-trace/Perfetto JSON timeline",
+        epilog="Open the file at https://ui.perfetto.dev or "
+               "chrome://tracing; see docs/OBSERVABILITY.md.",
+    )
+    ptr.add_argument("scenario",
+                     help="registered scenario name (see `repro scenarios`)")
+    ptr.add_argument("--grid", action="append", default=[],
+                     metavar="KEY=V1,V2,...",
+                     help="override a grid parameter's values or a fixed "
+                          "parameter's value; repeatable")
+    ptr.add_argument("--point", type=int, default=0, metavar="N",
+                     help="canonical grid point index to trace (default: 0)")
+    ptr.add_argument("--out", type=Path, default=Path("trace.json"),
+                     help="output JSON path (default: trace.json)")
+    ptr.add_argument("--seed", type=int, default=1234,
+                     help="root seed threaded into the simulated point")
+
+    pmx = sub.add_parser(
+        "metrics",
+        help="run one grid point with telemetry on and print its metric "
+             "and virtual-time-series report",
+        epilog="See docs/OBSERVABILITY.md for the metric catalog.",
+    )
+    pmx.add_argument("scenario",
+                     help="registered scenario name (see `repro scenarios`)")
+    pmx.add_argument("--grid", action="append", default=[],
+                     metavar="KEY=V1,V2,...",
+                     help="override a grid parameter's values or a fixed "
+                          "parameter's value; repeatable")
+    pmx.add_argument("--point", type=int, default=0, metavar="N",
+                     help="canonical grid point index to run (default: 0)")
+    pmx.add_argument("--seed", type=int, default=1234,
+                     help="root seed threaded into the simulated point")
 
     pe = sub.add_parser("encrypt", help="one distributed encryption job")
     pe.add_argument("--nodes", type=int, default=8)
@@ -431,13 +492,24 @@ def _cmd_sweep(args, out) -> int:
                       f"point(s) ran, {result.cached_points} assembled from "
                       f"cache", file=out)
         else:
-            result = run_sweep(scenario, workers=args.workers)
+            # -v also collects each point's telemetry snapshot (counters
+            # ride back beside the timing data; canonical bytes are
+            # unaffected because snapshots are non-canonical row extras).
+            result = run_sweep(scenario, workers=args.workers,
+                               collect_metrics=args.verbose)
     _print_series(result.series, result.xlabel, result.ylabel, result.title, out)
     print(file=out)
     print(sweep_summary(result.series, x_name=result.xlabel), file=out)
     if args.verbose:
         print(file=out)
         print(sweep_timing_table(result.points), file=out)
+        metrics_block = sweep_metrics_table(result.points)
+        if metrics_block:
+            print(file=out)
+            print(metrics_block, file=out)
+        print(file=out)
+        print(f"points: {result.executed_points} executed, "
+              f"{result.cached_points} assembled from cache", file=out)
     print(file=out)
     method = f", {result.start_method} pool" if result.start_method else ""
     print(f"sweep {result.scenario}: {len(result.points)} points, "
@@ -457,10 +529,12 @@ def _cmd_sweep(args, out) -> int:
 
 def _cmd_serve(args, out) -> int:
     from repro.serve import ReproServer
+    from repro.serve.logs import configure_logging
 
     if (args.port is None) == (args.socket is None):
         print("error: exactly one of --port and --socket is required", file=out)
         return 2
+    configure_logging(args.log_level, json_mode=args.log_json)
     server = ReproServer(
         port=args.port,
         socket_path=args.socket,
@@ -517,12 +591,21 @@ def _cmd_submit(args, out) -> int:
 
     control = [opt for opt in ("status", "cancel", "shutdown")
                if getattr(args, opt) is not None]
+    if args.metrics:
+        control.append("metrics")
     if len(control) > 1 or (control and args.scenario is not None):
-        print("error: --status/--cancel/--shutdown are exclusive control "
-              "verbs and take no scenario", file=out)
+        print("error: --status/--cancel/--shutdown/--metrics are exclusive "
+              "control verbs and take no scenario", file=out)
         return 2
 
     try:
+        if args.metrics:
+            event = request_one(address, {"verb": "metrics"})
+            if event.get("event") == "error":
+                print(f"error: {event['message']}", file=out)
+                return 2
+            print(event["text"], end="", file=out)
+            return 0
         if args.status is not None:
             msg = {"verb": "status"}
             if args.status:
@@ -599,6 +682,81 @@ def _cmd_submit(args, out) -> int:
     except (OSError, ProtocolError) as exc:
         print(f"error: cannot reach daemon at {address}: {exc}", file=out)
         return 2
+
+
+def _resolve_point(args, out):
+    """Bind scenario + --grid + --point to one grid config.
+
+    Returns ``(scenario, cfg, 0)`` or ``(None, None, 2)`` after printing
+    a usage error — the shared front half of `repro trace` / `repro
+    metrics`, which both run exactly one point in-process.
+    """
+    try:
+        overrides = parse_grid_overrides(args.grid)
+        sc = get_scenario(args.scenario).with_overrides(overrides, seed=args.seed)
+    except (GridError, KeyError) as exc:
+        msg = exc.args[0] if exc.args else str(exc)
+        print(f"error: {msg}", file=out)
+        return None, None, 2
+    points = sc.points()
+    if not 0 <= args.point < len(points):
+        print(f"error: --point {args.point} out of range; {sc.name} has "
+              f"{len(points)} point(s)", file=out)
+        return None, None, 2
+    return sc, points[args.point], 0
+
+
+def _point_params(cfg) -> str:
+    return " ".join(f"{k}={v}" for k, v in cfg.items() if k != "seed")
+
+
+def _cmd_trace(args, out) -> int:
+    import repro.obs as obs
+    from repro.obs.traceexport import TraceCollector, write_chrome_trace
+
+    sc, cfg, code = _resolve_point(args, out)
+    if sc is None:
+        return code
+    collector = TraceCollector()
+    previous = obs.set_trace_collector(collector)
+    try:
+        values = dict(sc.run_point(cfg))
+    finally:
+        obs.set_trace_collector(previous)
+    trace = write_chrome_trace(args.out, collector=collector)
+    print(f"traced {sc.name} point {args.point}: {_point_params(cfg)}", file=out)
+    print("values: " + " ".join(f"{k}={v}" for k, v in values.items()), file=out)
+    dropped = (f", {collector.dropped} record(s) ring-dropped"
+               if collector.dropped else "")
+    print(f"wrote {args.out}: {len(trace['traceEvents'])} events "
+          f"({collector.span_count()} spans, {collector.record_count()} "
+          f"instants) from {len(collector.tracers)} tracer(s){dropped}",
+          file=out)
+    print("open at https://ui.perfetto.dev or chrome://tracing", file=out)
+    return 0
+
+
+def _cmd_metrics(args, out) -> int:
+    import repro.obs as obs
+
+    sc, cfg, code = _resolve_point(args, out)
+    if sc is None:
+        return code
+    previous = obs.set_obs(True)
+    obs.reset_registry()
+    try:
+        values = dict(sc.run_point(cfg))
+        snapshot = obs.registry().snapshot()
+    finally:
+        obs.set_obs(previous)
+    print(f"metrics for {sc.name} point {args.point}: {_point_params(cfg)}",
+          file=out)
+    print("values: " + " ".join(f"{k}={v}" for k, v in values.items()), file=out)
+    print(file=out)
+    print(metrics_snapshot_table(snapshot), file=out)
+    print(file=out)
+    print(timeseries_summary_table(snapshot), file=out)
+    return 0
 
 
 def _cluster_mix(backend: Backend) -> dict:
@@ -683,6 +841,10 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _cmd_serve(args, out)
     if args.command == "submit":
         return _cmd_submit(args, out)
+    if args.command == "trace":
+        return _cmd_trace(args, out)
+    if args.command == "metrics":
+        return _cmd_metrics(args, out)
     if args.command == "encrypt":
         return _cmd_encrypt(args, out)
     if args.command == "pi":

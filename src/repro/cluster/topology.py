@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+import repro.obs as obs
 from repro.perf.calibration import CalibrationProfile, PAPER_CALIBRATION
 from repro.sim.engine import Environment
 from repro.sim.rng import RandomStreams
@@ -71,7 +72,15 @@ class Cluster:
         self.calib = calib
         self.network = Network(env, calib)
         self.rng = RandomStreams(spec.seed)
-        self.tracer = Tracer(env, enabled=spec.trace)
+        # An installed obs trace collector overrides the spec's tracer:
+        # `repro trace` gets spans out of any scenario without plumbing
+        # a flag through every construction path. Recording is passive,
+        # so canonical bytes are unchanged either way.
+        collector = obs.trace_collector()
+        if collector is not None:
+            self.tracer = collector.tracer(env)
+        else:
+            self.tracer = Tracer(env, enabled=spec.trace)
 
         self.master = Node(env, 0, spec.master_spec, calib)
         self.network.attach(self.master)

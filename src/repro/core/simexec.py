@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+import repro.obs as obs
+from repro.obs.sampler import attach_sampler, publish_cluster_metrics
 from repro.perf.calibration import Backend, CalibrationProfile, GB, PAPER_CALIBRATION
 from repro.perf.energy import EnergyModel
 from repro.cluster.topology import Cluster, ClusterSpec
@@ -96,6 +98,11 @@ class SimulatedCluster:
         self.replication_manager = (
             ReplicationManager(self.namenode) if replication_manager else None
         )
+        # Telemetry: sampled once at construction (reference-mode
+        # discipline). None means every obs branch below is one
+        # `is None` check — the canonical disabled path.
+        self._obs = obs.registry() if obs.enabled() else None
+        self._obs_flushed: dict[str, float] = {}
         self._started = False
 
     def start(self) -> None:
@@ -107,6 +114,14 @@ class SimulatedCluster:
             tt.start()
         if self.replication_manager is not None:
             self.replication_manager.start()
+        if self._obs is not None:
+            attach_sampler(self, self._obs)
+
+    def publish_metrics(self) -> None:
+        """Delta-flush model tallies into the obs registry (no-op when
+        telemetry is disabled); called after every ``env.run`` leg."""
+        if self._obs is not None:
+            publish_cluster_metrics(self, self._obs, self._obs_flushed)
 
     # -- dynamic membership (§V: dynamically variable environments) -----------
     def add_worker_now(self, accelerated: bool = True) -> TaskTracker:
@@ -178,6 +193,7 @@ class SimulatedCluster:
         self.start()
         job = self.jobtracker.submit_job(conf)
         result = self.env.run(job.completion)
+        self.publish_metrics()
         return result
 
     def run_jobs(
@@ -221,6 +237,7 @@ class SimulatedCluster:
 
         done = self.env.process(_driver(), name="multijob-driver")
         self.env.run(done)
+        self.publish_metrics()
         return list(results)  # type: ignore[arg-type]
 
     # -- reporting -----------------------------------------------------------------

@@ -61,6 +61,7 @@ from pathlib import Path
 from typing import Any, Callable, Mapping, Optional, TypeVar, Union
 
 import repro.modelmode as modelmode
+import repro.obs as obs
 import repro.sim.engine as engine
 from repro.experiments.driver import SweepResult, run_sweep
 from repro.experiments.pool import SweepPool
@@ -280,6 +281,20 @@ class PointCache:
 
     def __init__(self, cache_dir: Path):
         self.dir = Path(cache_dir) / "points"
+        #: Lifetime lookup tallies (always on — two int bumps). When
+        #: telemetry is enabled at construction they are mirrored into
+        #: the obs registry as counters.
+        self.hits = 0
+        self.misses = 0
+        self._obs_lookups = (
+            obs.registry().counter(
+                "repro_point_cache_lookups_total",
+                "Point-cache lookups by outcome",
+                labels=("outcome",),
+            )
+            if obs.enabled()
+            else None
+        )
 
     def lookup(
         self,
@@ -290,7 +305,14 @@ class PointCache:
     ) -> tuple[str, Optional[dict[str, float]]]:
         """``(key, stored values or None)`` for one bound point."""
         key = point_key(scenario, cfg, reference, model_reference)
-        return key, self.get(scenario.name, key)
+        values = self.get(scenario.name, key)
+        if values is not None:
+            self.hits += 1
+        else:
+            self.misses += 1
+        if self._obs_lookups is not None:
+            self._obs_lookups.inc(outcome="hit" if values is not None else "miss")
+        return key, values
 
     def _path(self, name: str, key: str) -> Path:
         return self.dir / f"{name}-{key[:16]}.json"

@@ -10,10 +10,13 @@ determinism contract the golden-series tests pin down (see
 ``docs/EXPERIMENTS.md``).
 
 Workers receive only ``(scenario_name, point_index, cfg, reference,
-model_reference)``: the scenario is re-resolved from the registry on
-the worker side, and the parent's engine/model modes are re-applied
-explicitly so sweeps behave identically under both loops and any start
-method.
+model_reference, collect_metrics)``: the scenario is re-resolved from
+the registry on the worker side, and the parent's engine/model modes
+are re-applied explicitly so sweeps behave identically under both loops
+and any start method. ``collect_metrics`` additionally flips the
+telemetry layer (:mod:`repro.obs`) on around the point and ships the
+registry snapshot back as a **non-canonical** extra on the point row —
+telemetry never touches canonical bytes.
 
 Sweep-scale machinery layered on top (all byte-neutral):
 
@@ -38,6 +41,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Optional, Union
 
 import repro.modelmode as modelmode
+import repro.obs as obs
 import repro.sim.engine as engine
 from repro.analysis.series import Series
 from repro.experiments.pool import SweepPool, shared_pool
@@ -143,17 +147,42 @@ class SweepResult:
         )
 
 
-def _run_point_task(task: tuple) -> tuple[int, dict[str, float], float]:
-    """Worker-side: one grid point, resolved by scenario name. Returns
-    ``(index, values, elapsed_s)`` so the parent can record per-point
-    cost for straggler reporting and future dispatch ordering."""
-    name, idx, cfg, reference, model_reference = task
-    prev = engine.set_reference_mode(reference)
-    prev_model = modelmode.set_model_reference(model_reference)
+def _execute_point(
+    sc_or_name: Union[str, Scenario], cfg: Mapping[str, Any], collect: bool
+) -> tuple[dict[str, float], float, Optional[dict]]:
+    """Run one grid point, optionally under telemetry collection.
+
+    Returns ``(values, elapsed_s, metrics_snapshot_or_None)``. With
+    ``collect`` the obs switch is flipped on and the registry reset for
+    exactly this point, then restored — byte-transparent either way.
+    """
+    sc = get_scenario(sc_or_name) if isinstance(sc_or_name, str) else sc_or_name
+    prev_obs = False
+    if collect:
+        prev_obs = obs.set_obs(True)
+        obs.reset_registry()
     t0 = time.perf_counter()
     try:
-        scenario = get_scenario(name)
-        return idx, dict(scenario.run_point(cfg)), time.perf_counter() - t0
+        values = dict(sc.run_point(cfg))
+        dt = time.perf_counter() - t0
+        snap = obs.registry().snapshot() if collect else None
+        return values, dt, snap
+    finally:
+        if collect:
+            obs.set_obs(prev_obs)
+
+
+def _run_point_task(task: tuple) -> tuple[int, dict[str, float], float, Optional[dict]]:
+    """Worker-side: one grid point, resolved by scenario name. Returns
+    ``(index, values, elapsed_s, metrics)`` so the parent can record
+    per-point cost for straggler reporting and (when requested) the
+    point's telemetry snapshot."""
+    name, idx, cfg, reference, model_reference, collect = task
+    prev = engine.set_reference_mode(reference)
+    prev_model = modelmode.set_model_reference(model_reference)
+    try:
+        values, dt, snap = _execute_point(name, cfg, collect)
+        return idx, values, dt, snap
     finally:
         engine.set_reference_mode(prev)
         modelmode.set_model_reference(prev_model)
@@ -179,15 +208,15 @@ def dispatch_tasks(
 ):
     """The one serial-vs-pooled execution split every sweep path uses
     (``run_sweep`` and ``shard.run_shard``). Returns ``(start_method,
-    iterator of (index, values, elapsed_s))``: in-process execution for
-    one worker or a single task (``start_method`` None), otherwise a
-    persistent pool — the one passed in, or a shared pool capped at the
-    task count so narrow grids never fork idle workers."""
+    iterator of (index, values, elapsed_s, metrics))``: in-process
+    execution for one worker or a single task (``start_method`` None),
+    otherwise a persistent pool — the one passed in, or a shared pool
+    capped at the task count so narrow grids never fork idle workers."""
     if (pool.workers if pool is not None else workers) == 1 or len(tasks) <= 1:
         def _serial():
-            for _, i, cfg, _, _ in tasks:
-                t0 = time.perf_counter()
-                yield i, dict(sc.run_point(cfg)), time.perf_counter() - t0
+            for _, i, cfg, _, _, collect in tasks:
+                values, dt, snap = _execute_point(sc, cfg, collect)
+                yield i, values, dt, snap
         return None, _serial()
     try:
         registered = get_scenario(sc.name)
@@ -213,6 +242,7 @@ def run_sweep(
     pool: Optional[SweepPool] = None,
     point_cache=None,
     timings=None,
+    collect_metrics: bool = False,
 ) -> SweepResult:
     """Run one scenario's full grid and aggregate deterministically.
 
@@ -237,6 +267,10 @@ def run_sweep(
     timings: optional per-point cost store
         (:class:`repro.experiments.cache.TimingStore`); recorded costs
         order dispatch longest-first and fresh costs are recorded.
+    collect_metrics: run every executed point under the telemetry layer
+        (:mod:`repro.obs`) and attach each point's registry snapshot to
+        its row as a non-canonical ``metrics`` entry (``repro sweep
+        -v`` surfaces the aggregate). Canonical bytes are unchanged.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
@@ -264,7 +298,10 @@ def run_sweep(
                 cached += 1
 
     pending = [i for i in range(total) if results[i] is None]
-    tasks = [(sc.name, i, points[i], reference, model_reference) for i in pending]
+    tasks = [
+        (sc.name, i, points[i], reference, model_reference, collect_metrics)
+        for i in pending
+    ]
     cost_keys: dict[int, str] = {}
     if timings is not None:
         cost_keys = {
@@ -281,10 +318,12 @@ def run_sweep(
         # Cost-aware ordering only changes *dispatch*; results still
         # land in canonical slots. Serial runs keep canonical order.
         tasks = _order_tasks(tasks, lambda t: timings.estimate(cost_keys[t[1]]))
+    point_metrics: list[Optional[dict]] = [None] * total
     start_method, stream = dispatch_tasks(sc, tasks, workers, pool)
-    for idx, values, dt in stream:
+    for idx, values, dt, snap in stream:
         results[idx] = values
         point_elapsed[idx] = dt
+        point_metrics[idx] = snap
         done += 1
         if progress:
             progress(done, total)
@@ -307,6 +346,7 @@ def run_sweep(
         start_method=start_method,
         executed_points=len(pending),
         cached_points=cached,
+        point_metrics=point_metrics if collect_metrics else None,
     )
 
 
@@ -320,6 +360,7 @@ def build_result(
     start_method: Optional[str] = None,
     executed_points: int = 0,
     cached_points: int = 0,
+    point_metrics: Optional[list] = None,
 ) -> SweepResult:
     """Assemble per-point values into a :class:`SweepResult`.
 
@@ -329,6 +370,10 @@ def build_result(
     offline sweeps by construction, not by parallel maintenance.
     ``results`` holds one value dict per canonical grid point; a row
     whose ``point_elapsed`` entry is None is marked cache-assembled.
+    ``point_metrics`` (when given) attaches each point's telemetry
+    snapshot as a non-canonical ``metrics`` entry on its row —
+    :meth:`SweepResult.canonical_dict` strips it like every other bit
+    of run metadata.
     """
     series = sc.assemble(results)  # raises if any point went missing
     point_rows = []
@@ -341,6 +386,8 @@ def build_result(
             row["elapsed_s"] = round(point_elapsed[i], 6)
         else:
             row["cached"] = True
+        if point_metrics is not None and point_metrics[i] is not None:
+            row["metrics"] = point_metrics[i]
         point_rows.append(row)
     return SweepResult(
         scenario=sc.name,

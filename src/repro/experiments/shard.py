@@ -108,9 +108,9 @@ def run_shard(
     t0 = time.perf_counter()
     results: dict[int, dict[str, float]] = {}
     elapsed: dict[int, float] = {}
-    tasks = [(sc.name, j, points[j], reference, model_reference) for j in mine]
+    tasks = [(sc.name, j, points[j], reference, model_reference, False) for j in mine]
     _, stream = dispatch_tasks(sc, tasks, workers, pool)
-    for j, values, dt in stream:
+    for j, values, dt, _snap in stream:
         results[j] = values
         elapsed[j] = dt
 

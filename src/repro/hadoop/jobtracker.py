@@ -29,7 +29,7 @@ pre-refactor inline logic decision for decision.
 from __future__ import annotations
 
 from heapq import heappop, heappush
-from typing import TYPE_CHECKING, Generator, Union
+from typing import TYPE_CHECKING, Any, Generator, Union
 
 import repro.modelmode as modelmode
 from repro.hadoop.config import JobConf
@@ -165,6 +165,8 @@ class JobTracker:
         #: sizes above 1 mean several exchanges landed on the same
         #: (saturated) service instant and were drained in one wake.
         self._batch_hist: dict[int, int] = {}
+        #: Open job spans for the trace exporter (enabled tracers only).
+        self._job_spans: dict[int, Any] = {}
         self._view = ClusterView(self)
 
     # -- membership -------------------------------------------------------------
@@ -316,6 +318,10 @@ class JobTracker:
             yield from self._finish_job(job)
         if self.tracer.enabled:
             self.tracer.emit("jobtracker", "job_started", job=job.job_id, maps=len(job.maps))
+            self._job_spans[job.job_id] = self.tracer.span(
+                "job", f"job {job.job_id}", track="jobs",
+                maps=len(job.maps), reduces=len(job.reduces),
+            )
 
     # -- main service loop ------------------------------------------------------------
     def _main_loop(self) -> Generator:
@@ -588,6 +594,9 @@ class JobTracker:
             self._jobs_epoch += 1
             if self.tracer.enabled:
                 self.tracer.emit("jobtracker", "job_done", job=job.job_id)
+                span = self._job_spans.pop(job.job_id, None)
+                if span is not None:
+                    span.end(state=job.state.name)
 
     # -- failure detection ---------------------------------------------------------------
     def _failure_monitor(self) -> Generator:

@@ -77,6 +77,9 @@ class RecordReader:
         self.records_read = 0
         self.bytes_read = 0
         self.remote_bytes = 0
+        # Pre-sampled tracing flag: delivery spans cost nothing unless
+        # the tracer is present *and* enabled.
+        self._tracing = tracer is not None and tracer.enabled
 
     def record_ranges(self) -> list[tuple[int, int]]:
         """(offset, length) of each record in the split."""
@@ -95,6 +98,17 @@ class RecordReader:
 
     def read_record(self, offset: int, length: int, index: int) -> Generator:
         """Process: deliver one record; returns a :class:`RecordBatch`."""
+        span = (
+            self.tracer.span(
+                "recordreader",
+                "deliver",
+                track=f"node{self.node.node_id}/recordreader",
+                split=self.split.split_id,
+                index=index,
+            )
+            if self._tracing
+            else None
+        )
         meta = self.client.namenode.file_meta(self.split.path)
         blocks = meta.blocks_for_range(offset, length)
         remote = 0
@@ -128,6 +142,8 @@ class RecordReader:
         self.records_read += 1
         self.bytes_read += length
         self.remote_bytes += remote
+        if span is not None:
+            span.end(nbytes=length, remote=remote)
         if self.tracer is not None:
             self.tracer.emit(
                 "recordreader",

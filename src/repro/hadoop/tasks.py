@@ -87,6 +87,16 @@ def run_map_task(
     env = ctx.env
     calib = ctx.calib
     conf = job.conf
+    # Span plumbing is pre-sampled once per attempt: `tracing` is None
+    # unless a tracer exists AND is enabled, so the per-record loop
+    # below never pays for disabled tracing.
+    tracing = ctx.tracer if (ctx.tracer is not None and ctx.tracer.enabled) else None
+    lane = f"node{ctx.node.node_id}/slot{slot}"
+    attempt_span = (
+        tracing.span("task", f"map {task.task_id}", track=lane, job=job.job_id)
+        if tracing is not None
+        else None
+    )
     if conf.workload == "pi":
         # Compute-driven attempts fold the launch delay into the kernel
         # wave (one composite event in event-thin model mode; the same
@@ -118,7 +128,14 @@ def run_map_task(
     }
 
     if conf.workload == "pi":
+        kernel_span = (
+            tracing.span("kernel", "run_samples", track=f"{lane}/kernel")
+            if tracing is not None
+            else None
+        )
         yield from kernel.run_samples(task.samples, lead_s=launch_lead)
+        if kernel_span is not None:
+            kernel_span.end(busy_s=kernel.kernel_busy_s)
         stats["kernel_busy_s"] = kernel.kernel_busy_s
         stats["output_bytes"] = PI_MAP_OUTPUT_BYTES
         yield from ctx.node.disk.write(PI_MAP_OUTPUT_BYTES)
@@ -161,7 +178,14 @@ def run_map_task(
                     off, length = ranges[serial_idx]
                     batch = yield from reader.read_record(off, length, serial_idx)
                     serial_idx += 1
-                yield from kernel.process_record(batch.nbytes)
+                if tracing is not None:
+                    kernel_span = tracing.span(
+                        "kernel", "process_record", track=f"{lane}/kernel"
+                    )
+                    yield from kernel.process_record(batch.nbytes)
+                    kernel_span.end(nbytes=batch.nbytes)
+                else:
+                    yield from kernel.process_record(batch.nbytes)
                 if cipher is not None and batch.payload is not None:
                     # Functional-verification mode: really encrypt the
                     # record at its absolute CTR offset, like the Cell
@@ -194,6 +218,10 @@ def run_map_task(
         )
 
     yield env.pooled_timeout(calib.task_cleanup_s)
+    if attempt_span is not None:
+        attempt_span.end(
+            records=stats["records"], kernel_busy_s=stats["kernel_busy_s"]
+        )
     if ctx.tracer is not None:
         ctx.tracer.emit(
             "task", "map_done", job=job.job_id, task=task.task_id, node=ctx.node.node_id
@@ -252,11 +280,21 @@ def run_reduce_task(
     env = ctx.env
     calib = ctx.calib
     conf = job.conf
+    tracing = ctx.tracer if (ctx.tracer is not None and ctx.tracer.enabled) else None
+    lane = f"node{ctx.node.node_id}/rslot{slot}"
+    attempt_span = (
+        tracing.span("task", f"reduce {task.task_id}", track=lane, job=job.job_id)
+        if tracing is not None
+        else None
+    )
     yield env.pooled_timeout(calib.task_launch_s)
     stats: dict[str, Any] = {"shuffle_bytes": 0.0, "output_bytes": 0.0, "kernel_busy_s": 0.0}
 
     nreduce = max(1, conf.num_reduce_tasks)
     # Shuffle: this reducer's share of every map output.
+    shuffle_span = (
+        tracing.span("phase", "shuffle", track=lane) if tracing is not None else None
+    )
     fetched = 0.0
     if ctx.map_outputs is not None:
         for map_id in sorted(job.maps):
@@ -272,6 +310,8 @@ def run_reduce_task(
                 src, ctx.node, share
             )
             fetched += share
+    if shuffle_span is not None:
+        shuffle_span.end(nbytes=fetched)
     stats["shuffle_bytes"] = fetched
 
     # Merge sort at CPU sort bandwidth, then the reduce function: Pi's
@@ -282,7 +322,14 @@ def run_reduce_task(
     if fetched > 0:
         merge_s = fetched / calib.sort_cpu_bw_per_core
         reduce_s = merge_s if conf.workload == "sort" else 0.0
+        merge_span = (
+            tracing.span("phase", "merge+reduce", track=lane)
+            if tracing is not None
+            else None
+        )
         yield env.composite_timeout(merge_s, reduce_s)
+        if merge_span is not None:
+            merge_span.end(merge_s=merge_s, reduce_s=reduce_s)
         stats["kernel_busy_s"] += merge_s + reduce_s
 
     # Output commit to HDFS. Attempt-scoped path, as real Hadoop writes
@@ -296,6 +343,8 @@ def run_reduce_task(
         stats["output_bytes"] = out_bytes
 
     yield env.pooled_timeout(calib.task_cleanup_s)
+    if attempt_span is not None:
+        attempt_span.end(shuffle_bytes=stats["shuffle_bytes"])
     if ctx.tracer is not None:
         ctx.tracer.emit(
             "task", "reduce_done", job=job.job_id, task=task.task_id, node=ctx.node.node_id

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Generator, Optional
 
 import repro.modelmode as modelmode
+import repro.obs as obs
 from repro.hadoop.job import TaskKind
 from repro.hadoop.messages import (
     Assignment,
@@ -82,6 +83,16 @@ class TaskTracker:
         self._keepalive_s = self.calib.heartbeat_timeout_s * modelmode.KEEPALIVE_FACTOR
         self.heartbeat_parks = 0
         """Work-less heartbeat rounds replaced by a park (diagnostics)."""
+        # Telemetry handle, pre-sampled at construction: None keeps the
+        # exchange loop at a single `is None` test per heartbeat.
+        self._obs_hb_latency = (
+            obs.registry().histogram(
+                "sim_heartbeat_service_latency_seconds",
+                "Virtual time from heartbeat send to assignment reply",
+            )
+            if obs.enabled()
+            else None
+        )
         jobtracker.register_tracker(self)
 
     @property
@@ -213,8 +224,11 @@ class TaskTracker:
             )
             self._dirty = False
             self._next_keepalive = self.env.now + self._keepalive_s
+            sent_at = self.env.now
             yield self.jt.inbox.put((hb, self.mailbox))
             reply = yield self.mailbox.get(_is_assignment_reply)
+            if self._obs_hb_latency is not None:
+                self._obs_hb_latency.observe(self.env.now - sent_at)
             for kill in reply.kills:
                 self._kill_attempt(kill)
             # Launch every assignment from this reply in one batch: the

@@ -1,0 +1,71 @@
+"""Prometheus text exposition (version 0.0.4) for a MetricsRegistry.
+
+Only the wire format lives here; nothing in this module mutates
+metrics. Timeseries instruments are a simulation-side concept with no
+Prometheus equivalent and are skipped (their last value would be
+misleading scraped out of virtual time).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = ["CONTENT_TYPE", "render"]
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _labels(names: tuple[str, ...], values: tuple[str, ...], extra: str = "") -> str:
+    pairs = [f'{n}="{_escape(v)}"' for n, v in zip(names, values)]
+    if extra:
+        pairs.append(extra)
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def _num(v: float) -> str:
+    if v == float("inf"):
+        return "+Inf"
+    if float(v).is_integer():
+        return str(int(v))
+    return repr(float(v))
+
+
+def _render_simple(metric: Counter | Gauge, lines: list[str]) -> None:
+    for key, value in sorted(metric._values.items()):  # noqa: SLF001
+        lines.append(f"{metric.name}{_labels(metric.label_names, key)} {_num(value)}")
+
+
+def _render_histogram(metric: Histogram, lines: list[str]) -> None:
+    for key, state in sorted(metric._states.items()):  # noqa: SLF001
+        cumulative = 0
+        for bound, count in zip(metric.buckets, state.counts):
+            cumulative += count
+            le = _labels(metric.label_names, key, f'le="{_num(bound)}"')
+            lines.append(f"{metric.name}_bucket{le} {cumulative}")
+        le = _labels(metric.label_names, key, 'le="+Inf"')
+        lines.append(f"{metric.name}_bucket{le} {state.count}")
+        plain = _labels(metric.label_names, key)
+        lines.append(f"{metric.name}_sum{plain} {_num(state.sum)}")
+        lines.append(f"{metric.name}_count{plain} {state.count}")
+
+
+def render(registry: MetricsRegistry) -> str:
+    """The registry as Prometheus text exposition, families sorted by name."""
+    lines: list[str] = []
+    for metric in registry.metrics():
+        if not isinstance(metric, (Counter, Gauge, Histogram)):
+            continue
+        if metric.help:
+            lines.append(f"# HELP {metric.name} {_escape(metric.help)}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if isinstance(metric, Histogram):
+            _render_histogram(metric, lines)
+        else:
+            _render_simple(metric, lines)
+    return "\n".join(lines) + "\n" if lines else ""

@@ -1,0 +1,99 @@
+"""Structured logging for the serve daemon.
+
+Replaces ad-hoc prints with the stdlib ``logging`` module under the
+``repro.serve`` logger. Every line is an *event name* plus key=value
+fields (job id, request key, verb, ...) so daemon output is grep-able
+in text mode and machine-parseable in JSON mode::
+
+    2026-08-08T12:00:00 INFO repro.serve job_admitted job=job-000001 \
+        request_key=ab12... scenario=fig8 coalesced=False
+    {"ts": "...", "level": "INFO", "logger": "repro.serve",
+     "event": "job_admitted", "job": "job-000001", ...}
+
+``repro serve --log-level debug --log-json`` wires this up; library
+use of the server emits into whatever handlers the host application
+configured (or nothing, per stdlib convention).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import Any, Optional, TextIO
+
+__all__ = ["JsonFormatter", "KVFormatter", "configure_logging", "log_event", "server_logger"]
+
+_FIELDS_ATTR = "repro_fields"
+
+server_logger = logging.getLogger("repro.serve")
+
+
+class KVFormatter(logging.Formatter):
+    """``TIMESTAMP LEVEL logger event key=value ...`` text lines."""
+
+    default_time_format = "%Y-%m-%dT%H:%M:%S"
+
+    def format(self, record: logging.LogRecord) -> str:
+        base = (
+            f"{self.formatTime(record)} {record.levelname} "
+            f"{record.name} {record.getMessage()}"
+        )
+        fields = getattr(record, _FIELDS_ATTR, None)
+        if fields:
+            kv = " ".join(f"{k}={v}" for k, v in fields.items())
+            base = f"{base} {kv}"
+        if record.exc_info:
+            base = f"{base}\n{self.formatException(record.exc_info)}"
+        return base
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per line; fields are merged in at the top level."""
+
+    default_time_format = "%Y-%m-%dT%H:%M:%S"
+
+    def format(self, record: logging.LogRecord) -> str:
+        out: dict[str, Any] = {
+            "ts": self.formatTime(record),
+            "level": record.levelname,
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        fields = getattr(record, _FIELDS_ATTR, None)
+        if fields:
+            out.update(fields)
+        if record.exc_info:
+            out["exc_info"] = self.formatException(record.exc_info)
+        return json.dumps(out, sort_keys=True, default=str)
+
+
+def log_event(
+    logger: logging.Logger, level: int, event: str, **fields: Any
+) -> None:
+    """Emit one structured event with key=value fields."""
+    if logger.isEnabledFor(level):
+        logger.log(level, event, extra={_FIELDS_ATTR: fields})
+
+
+def configure_logging(
+    level: str = "info",
+    json_mode: bool = False,
+    stream: Optional[TextIO] = None,
+) -> logging.Handler:
+    """Attach a stderr handler to the ``repro.serve`` logger.
+
+    Idempotent per process: an existing handler installed by this
+    function is replaced, not stacked, so repeated CLI invocations in
+    one process (tests) never double-log. Returns the handler.
+    """
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JsonFormatter() if json_mode else KVFormatter())
+    handler.set_name("repro-serve-cli")
+    for existing in list(server_logger.handlers):
+        if existing.get_name() == handler.get_name():
+            server_logger.removeHandler(existing)
+    server_logger.addHandler(handler)
+    server_logger.setLevel(getattr(logging, level.upper()))
+    server_logger.propagate = False
+    return handler

@@ -17,6 +17,7 @@ Requests (``verb`` selects the operation)::
     {"verb": "shutdown"}                # graceful: drain running jobs
     {"verb": "shutdown", "mode": "now"} # cancel running jobs first
     {"verb": "ping"}
+    {"verb": "metrics"}                 # Prometheus text exposition
 
 Response events (``event`` selects the type)::
 
@@ -31,6 +32,7 @@ Response events (``event`` selects the type)::
     {"event": "cancel", "job": ..., "ok": bool, "state": ...}
     {"event": "shutdown", "ok": true}
     {"event": "pong", "version": 1}
+    {"event": "metrics", "content_type": ..., "text": <Prometheus text>}
     {"event": "error", "message": ...}
 
 The ``payload`` of a ``result`` event is the full pretty-printed
@@ -65,7 +67,7 @@ __all__ = [
 
 PROTOCOL_VERSION = 1
 
-VERBS = ("submit", "status", "cancel", "shutdown", "ping")
+VERBS = ("submit", "status", "cancel", "shutdown", "ping", "metrics")
 
 #: Shutdown modes: graceful waits for running jobs, now cancels them.
 SHUTDOWN_MODES = ("graceful", "now")

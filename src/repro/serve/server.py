@@ -36,6 +36,7 @@ explicit ``cancel`` verb kills a job.
 
 from __future__ import annotations
 
+import logging
 import os
 import socket
 import threading
@@ -53,8 +54,11 @@ from repro.experiments.cache import (
 from repro.experiments.driver import _order_tasks, _run_point_task, build_result
 from repro.experiments.pool import SweepPool
 from repro.experiments.scenario import GridError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.prometheus import CONTENT_TYPE, render as render_prometheus
 from repro.serve import protocol
 from repro.serve.jobs import Job, JobRequest, JobTable
+from repro.serve.logs import log_event, server_logger
 
 __all__ = ["ReproServer"]
 
@@ -117,6 +121,32 @@ class ReproServer:
         self._started_at: Optional[float] = None
         self.points_executed = 0
         self.cache_hits = 0
+        # Daemon metrics are always on (unlike simulation telemetry):
+        # the registry is private to this server instance and costs a
+        # few counter bumps per request — nothing on any simulation
+        # path. The `metrics` verb renders it as Prometheus text.
+        self.metrics = MetricsRegistry()
+        self._m_requests = self.metrics.counter(
+            "repro_serve_requests_total", "Requests handled, by verb",
+            labels=("verb",),
+        )
+        self._m_latency = self.metrics.histogram(
+            "repro_serve_request_seconds",
+            "Request handling wall time (includes streaming), by verb",
+            labels=("verb",),
+        )
+        self._m_points = self.metrics.counter(
+            "repro_serve_points_total", "Grid points served, by source",
+            labels=("source",),
+        )
+        self._m_sweep_cache_hits = self.metrics.counter(
+            "repro_serve_sweep_cache_hits_total",
+            "Jobs answered from the whole-sweep cache",
+        )
+        self._m_jobs = self.metrics.counter(
+            "repro_serve_jobs_total", "Jobs reaching a terminal state, by outcome",
+            labels=("outcome",),
+        )
 
     # -- lifecycle -----------------------------------------------------------
     def start(self) -> "ReproServer":
@@ -137,6 +167,9 @@ class ReproServer:
         sock.listen(128)
         self._listener = sock
         self._started_at = self._clock()
+        log_event(server_logger, logging.INFO, "server_started",
+                  endpoint=self.endpoint(), workers=self.workers,
+                  cache_dir=self.cache_dir)
         self._spawn(self._accept_loop, name="repro-serve-accept")
         return self
 
@@ -182,6 +215,7 @@ class ReproServer:
                 self.socket_path.unlink()
             except OSError:
                 pass
+        log_event(server_logger, logging.INFO, "server_stopped", mode=mode)
         self._done.set()
 
     def close(self) -> None:
@@ -280,22 +314,49 @@ class ReproServer:
     ) -> None:
         """Serve one validated request, writing events through ``send``."""
         verb = msg["verb"]
-        if verb == "ping":
-            send({"event": "pong", "version": protocol.PROTOCOL_VERSION})
-        elif verb == "status":
-            self._handle_status(msg, send)
-        elif verb == "cancel":
-            ok, state = self.table.cancel(msg["job"])
-            send({"event": "cancel", "job": msg["job"], "ok": ok, "state": state})
-        elif verb == "shutdown":
-            send({"event": "shutdown", "ok": True, "mode": msg.get("mode", "graceful")})
-            # The response is flushed before the drain starts, so the
-            # client is never left waiting on a dying daemon.
-            self.shutdown(mode=msg.get("mode", "graceful"))
-        elif verb == "submit":
-            self._handle_submit(msg, send)
-        else:  # pragma: no cover - parse_request already rejects these
-            send({"event": "error", "message": f"unhandled verb {verb!r}"})
+        started = time.perf_counter()
+        try:
+            if verb == "ping":
+                send({"event": "pong", "version": protocol.PROTOCOL_VERSION})
+            elif verb == "status":
+                self._handle_status(msg, send)
+            elif verb == "cancel":
+                ok, state = self.table.cancel(msg["job"])
+                log_event(server_logger, logging.INFO, "job_cancel_requested",
+                          job=msg["job"], ok=ok, state=state)
+                send({"event": "cancel", "job": msg["job"], "ok": ok, "state": state})
+            elif verb == "shutdown":
+                send({"event": "shutdown", "ok": True,
+                      "mode": msg.get("mode", "graceful")})
+                # The response is flushed before the drain starts, so the
+                # client is never left waiting on a dying daemon.
+                log_event(server_logger, logging.INFO, "shutdown_requested",
+                          mode=msg.get("mode", "graceful"))
+                self.shutdown(mode=msg.get("mode", "graceful"))
+            elif verb == "metrics":
+                send({"event": "metrics", "content_type": CONTENT_TYPE,
+                      "text": self.render_metrics()})
+            elif verb == "submit":
+                self._handle_submit(msg, send)
+            else:  # pragma: no cover - parse_request already rejects these
+                send({"event": "error", "message": f"unhandled verb {verb!r}"})
+        finally:
+            self._m_requests.inc(verb=verb)
+            self._m_latency.observe(time.perf_counter() - started, verb=verb)
+
+    def render_metrics(self) -> str:
+        """Prometheus text exposition of the daemon registry, with the
+        point-in-time stats refreshed into gauges at render time."""
+        stats = self.stats()
+        for name, help_text in (
+            ("jobs", "Jobs admitted since start"),
+            ("active_jobs", "Jobs currently queued or running"),
+            ("coalesced_submits", "Submits coalesced onto an in-flight job"),
+            ("workers", "Pool worker processes"),
+            ("uptime_s", "Daemon uptime in seconds"),
+        ):
+            self.metrics.gauge(f"repro_serve_{name}", help_text).set(stats[name])
+        return render_prometheus(self.metrics)
 
     def _handle_status(self, msg, send) -> None:
         job_id = msg.get("job")
@@ -330,8 +391,13 @@ class ReproServer:
             job, created = self.table.admit(request)
         except (KeyError, GridError) as exc:
             reason = exc.args[0] if exc.args else str(exc)
+            log_event(server_logger, logging.WARNING, "submit_rejected",
+                      scenario=msg.get("scenario"), error=str(reason))
             send({"event": "error", "message": str(reason)})
             return
+        log_event(server_logger, logging.INFO, "job_admitted",
+                  job=job.id, request_key=job.key, scenario=request.scenario,
+                  coalesced=not created, total=job.total)
         queue = None if msg.get("detach") else job.subscribe()
         send({
             "event": "accepted",
@@ -364,6 +430,10 @@ class ReproServer:
             self._run_job(job)
         except Exception as exc:  # noqa: BLE001 - one job must not kill the daemon
             job.finish_failed(f"{type(exc).__name__}: {exc}")
+            log_event(server_logger, logging.ERROR, "job_failed",
+                      job=job.id, request_key=job.key,
+                      error=f"{type(exc).__name__}: {exc}")
+            self._m_jobs.inc(outcome="failed")
         finally:
             self.table.release(job)
 
@@ -377,10 +447,15 @@ class ReproServer:
                     return  # cancelled before the executor got here
                 with self._lock:
                     self.cache_hits += 1
+                self._m_sweep_cache_hits.inc()
+                log_event(server_logger, logging.INFO, "job_done",
+                          job=job.id, request_key=job.key, cache_hit=True)
                 self._finish_with_result(job, cached, cache_hit=True)
                 return
         if not job.mark_running():
             return
+        log_event(server_logger, logging.DEBUG, "job_running",
+                  job=job.id, request_key=job.key, total=job.total)
 
         points = sc.points()
         total = len(points)
@@ -399,7 +474,7 @@ class ReproServer:
             job.note_cached(cached_n)
 
         pending = [i for i in range(total) if results[i] is None]
-        tasks = [(sc.name, i, points[i], ref, mref) for i in pending]
+        tasks = [(sc.name, i, points[i], ref, mref, False) for i in pending]
         cost_keys: dict[int, str] = {}
         if self.timings is not None:
             cost_keys = {
@@ -420,6 +495,10 @@ class ReproServer:
             # bank them so a resubmit only pays for what never ran.
             self._store_fresh(sc, executed, results, point_elapsed,
                               cache_keys, cost_keys)
+            log_event(server_logger, logging.INFO, "job_cancelled",
+                      job=job.id, request_key=job.key,
+                      completed_points=len(executed))
+            self._m_jobs.inc(outcome="cancelled")
             job.finish_cancelled()
             return
 
@@ -439,6 +518,14 @@ class ReproServer:
             store_cached(result, self.cache_dir, job.key)
         with self._lock:
             self.points_executed += len(pending)
+        if pending:
+            self._m_points.inc(len(pending), source="executed")
+        if cached_n:
+            self._m_points.inc(cached_n, source="point_cache")
+        log_event(server_logger, logging.INFO, "job_done",
+                  job=job.id, request_key=job.key, sha256=result.sha256(),
+                  executed_points=len(pending), cached_points=cached_n,
+                  elapsed_s=round(result.elapsed_s, 3))
         self._finish_with_result(job, result)
 
     def _dispatch_waves(
@@ -468,7 +555,7 @@ class ReproServer:
             inflight -= 1
             if isinstance(outcome, BaseException):
                 raise outcome
-            idx, values, dt = outcome
+            idx, values, dt, _snap = outcome
             results[idx] = values
             point_elapsed[idx] = dt
             executed.append(idx)
@@ -492,6 +579,7 @@ class ReproServer:
     def _finish_with_result(self, job: Job, result, cache_hit: bool = False) -> None:
         job.finish_done(result, result.pretty_json(), result.sha256(),
                         cache_hit=cache_hit)
+        self._m_jobs.inc(outcome="done")
 
     # -- context manager ------------------------------------------------------
     def __enter__(self) -> "ReproServer":

@@ -4,17 +4,30 @@ Every subsystem emits :class:`TraceRecord`\\ s through a shared
 :class:`Tracer`. Traces power the analysis layer (phase breakdowns such as
 "how much of the job was RecordReader time vs. kernel time", which is the
 paper's central observation) and make failed benchmark shapes debuggable.
+
+Two record shapes:
+
+- :class:`TraceRecord` — instantaneous events (``emit``), the original
+  API every subsystem already uses.
+- :class:`SpanRecord` — closed intervals (``span(...)`` → ``.end()``),
+  the per-task/per-phase timeline ``repro trace`` exports as
+  Chrome-trace/Perfetto JSON (see :mod:`repro.obs.traceexport`).
+
+Memory is bounded: pass ``max_records`` and both stores become ring
+buffers (oldest evicted first), with evictions tallied in
+:attr:`Tracer.dropped` so truncation is visible, never silent.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Iterator, Optional
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Environment
 
-__all__ = ["TraceRecord", "Tracer"]
+__all__ = ["NULL_SPAN", "SpanRecord", "TraceRecord", "Tracer"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -39,6 +52,99 @@ class TraceRecord:
         return f"[{self.time:12.6f}] {self.category}/{self.event} {kv}"
 
 
+@dataclass(frozen=True, slots=True)
+class SpanRecord:
+    """A closed interval on the simulation timeline.
+
+    Attributes
+    ----------
+    start, end: virtual-time bounds (``end >= start``).
+    category: subsystem tag (``"task"``, ``"kernel"``, ``"recordreader"``).
+    name: what ran, e.g. ``"map 3"`` or ``"shuffle"``.
+    track: timeline lane for visualisation, e.g. ``"node2/slot0"``;
+        spans on one track render as one row in Perfetto.
+    attrs: free-form payload merged from open and close.
+    """
+
+    start: float
+    end: float
+    category: str
+    name: str
+    track: str
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def __str__(self) -> str:
+        kv = " ".join(f"{k}={v}" for k, v in sorted(self.attrs.items()))
+        return (
+            f"[{self.start:12.6f}..{self.end:12.6f}] "
+            f"{self.category}/{self.name} @{self.track} {kv}"
+        )
+
+
+class _Span:
+    """Open span handle; ``end()`` seals it into the tracer."""
+
+    __slots__ = ("_tracer", "start", "category", "name", "track", "attrs")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        start: float,
+        category: str,
+        name: str,
+        track: str,
+        attrs: dict[str, Any],
+    ) -> None:
+        self._tracer = tracer
+        self.start = start
+        self.category = category
+        self.name = name
+        self.track = track
+        self.attrs = attrs
+
+    def end(self, **attrs: Any) -> None:
+        tracer = self._tracer
+        if tracer is None:
+            return
+        self._tracer = None  # idempotent close
+        if attrs:
+            self.attrs.update(attrs)
+        tracer._seal(  # noqa: SLF001
+            SpanRecord(
+                self.start, tracer.env.now, self.category,
+                self.name, self.track, self.attrs,
+            )
+        )
+
+    def __enter__(self) -> "_Span":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.end()
+
+
+class _NullSpan:
+    """Shared do-nothing span returned by disabled tracers."""
+
+    __slots__ = ()
+
+    def end(self, **attrs: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
 class Tracer:
     """Collects trace records; can be disabled for large benchmark runs.
 
@@ -47,10 +153,16 @@ class Tracer:
     env:
         Environment supplying timestamps.
     enabled:
-        When False, :meth:`emit` is a no-op (zero overhead path used by
-        the 64-node benchmark sweeps).
+        When False, :meth:`emit` is a no-op and :meth:`span` returns the
+        shared :data:`NULL_SPAN` (zero overhead path used by the
+        large benchmark sweeps).
     keep:
-        Optional predicate limiting which records are retained.
+        Optional predicate limiting which instantaneous records are
+        retained.
+    max_records:
+        Ring-buffer cap applied independently to records and spans;
+        ``None`` (default) keeps everything. Evictions increment
+        :attr:`dropped`.
     """
 
     def __init__(
@@ -58,11 +170,15 @@ class Tracer:
         env: "Environment",
         enabled: bool = True,
         keep: Optional[Callable[[TraceRecord], bool]] = None,
+        max_records: Optional[int] = None,
     ):
         self.env = env
         self.enabled = enabled
         self.keep = keep
-        self.records: list[TraceRecord] = []
+        self.max_records = max_records
+        self.records: deque[TraceRecord] = deque(maxlen=max_records)
+        self.spans: deque[SpanRecord] = deque(maxlen=max_records)
+        self.dropped = 0
         self._counters: dict[tuple[str, str], int] = {}
 
     def emit(self, category: str, event: str, **attrs: Any) -> None:
@@ -73,7 +189,26 @@ class Tracer:
             return
         rec = TraceRecord(self.env.now, category, event, attrs)
         if self.keep is None or self.keep(rec):
-            self.records.append(rec)
+            records = self.records
+            if records.maxlen is not None and len(records) == records.maxlen:
+                self.dropped += 1
+            records.append(rec)
+
+    def span(self, category: str, name: str, track: Optional[str] = None, **attrs: Any):
+        """Open a span starting now; close it with ``.end(**attrs)``.
+
+        Disabled tracers return the shared :data:`NULL_SPAN` so call
+        sites never branch on :attr:`enabled` themselves.
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        return _Span(self, self.env.now, category, name, track or category, attrs)
+
+    def _seal(self, span: SpanRecord) -> None:
+        spans = self.spans
+        if spans.maxlen is not None and len(spans) == spans.maxlen:
+            self.dropped += 1
+        spans.append(span)
 
     def count(self, category: str, event: Optional[str] = None) -> int:
         """Number of emissions (counted even while disabled)."""
@@ -90,8 +225,21 @@ class Tracer:
                 continue
             yield rec
 
+    def select_spans(
+        self, category: Optional[str] = None, track: Optional[str] = None
+    ) -> Iterator[SpanRecord]:
+        """Iterate sealed spans matching the filters."""
+        for span in self.spans:
+            if category is not None and span.category != category:
+                continue
+            if track is not None and span.track != track:
+                continue
+            yield span
+
     def clear(self) -> None:
         self.records.clear()
+        self.spans.clear()
+        self.dropped = 0
         self._counters.clear()
 
     def __len__(self) -> int:

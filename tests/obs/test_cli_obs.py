@@ -1,0 +1,70 @@
+"""CLI surface of the telemetry layer: trace/metrics commands, sweep -v."""
+
+import io
+import json
+
+from repro.cli import main
+
+
+def run_cli(argv):
+    buf = io.StringIO()
+    code = main(argv, out=buf)
+    return code, buf.getvalue()
+
+
+def test_trace_command_writes_loadable_json(tmp_path):
+    out = tmp_path / "t.json"
+    code, text = run_cli(["trace", "fig8", "--grid", "nodes=2",
+                          "--grid", "samples=1e9", "--out", str(out)])
+    assert code == 0
+    assert "traced fig8 point 0" in text
+    assert str(out) in text
+    trace = json.loads(out.read_text())
+    assert trace["traceEvents"]
+
+
+def test_trace_point_out_of_range_is_usage_error(tmp_path):
+    code, text = run_cli(["trace", "fig8", "--grid", "nodes=2",
+                          "--point", "99", "--out", str(tmp_path / "t.json")])
+    assert code == 2
+    assert "out of range" in text
+
+
+def test_metrics_command_prints_counters_and_series():
+    code, text = run_cli(["metrics", "fig8", "--grid", "nodes=2",
+                          "--grid", "samples=1e9"])
+    assert code == 0
+    assert "sim_heartbeats_total" in text
+    assert "sim_heartbeat_service_latency_seconds" in text
+    assert "sim_vt_map_slot_utilization" in text
+
+
+def test_metrics_unknown_scenario_is_usage_error():
+    code, text = run_cli(["metrics", "nope"])
+    assert code == 2
+    assert "error:" in text
+
+
+def test_sweep_verbose_aggregates_point_metrics(tmp_path):
+    code, text = run_cli(["sweep", "fig8", "--grid", "nodes=2,4",
+                          "--grid", "samples=1e9", "--no-save", "-v",
+                          "--out", str(tmp_path)])
+    assert code == 0
+    assert "metrics over 2 instrumented point(s)" in text
+    assert "sim_heartbeats_total" in text
+    assert "points: 2 executed, 0 assembled from cache" in text
+
+
+def test_sweep_quiet_collects_nothing(tmp_path):
+    code, text = run_cli(["sweep", "fig8", "--grid", "nodes=2",
+                          "--grid", "samples=1e9", "--no-save",
+                          "--out", str(tmp_path)])
+    assert code == 0
+    assert "metrics over" not in text
+
+
+def test_submit_metrics_is_exclusive_control_verb():
+    code, text = run_cli(["submit", "fig8", "--metrics",
+                          "--socket", "/tmp/nonexistent.sock"])
+    assert code == 2
+    assert "exclusive" in text

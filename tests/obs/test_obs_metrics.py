@@ -1,0 +1,148 @@
+"""Metric primitives: instruments, registry, Prometheus exposition."""
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timeseries,
+)
+from repro.obs.prometheus import CONTENT_TYPE, render
+
+
+# --------------------------------------------------------------------------- #
+# Instruments                                                                 #
+# --------------------------------------------------------------------------- #
+
+
+def test_counter_accumulates_and_rejects_negatives():
+    c = Counter("c", "help")
+    c.inc()
+    c.inc(2.5)
+    assert c.value() == 3.5
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_counter_labels_are_independent_and_validated():
+    c = Counter("c", labels=("outcome",))
+    c.inc(outcome="hit")
+    c.inc(3, outcome="miss")
+    assert c.value(outcome="hit") == 1
+    assert c.value(outcome="miss") == 3
+    with pytest.raises(ValueError):
+        c.inc()  # label missing
+    with pytest.raises(ValueError):
+        c.inc(wrong="x")
+
+
+def test_gauge_last_write_wins():
+    g = Gauge("g")
+    g.set(7)
+    g.set(2)
+    g.inc(0.5)
+    assert g.value() == 2.5
+
+
+def test_histogram_bucketing_units():
+    """Upper bounds are inclusive (``le`` semantics); values beyond the
+    last bound land in the overflow slot; sum/count are exact."""
+    h = Histogram("h", buckets=(1.0, 2.0, 5.0))
+    for v in (0.5, 1.0, 1.5, 5.0, 99.0):
+        h.observe(v)
+    state = h.state()
+    assert state.counts == [2, 1, 1, 1]  # le=1, le=2, le=5, +Inf
+    assert state.count == 5
+    assert state.sum == pytest.approx(0.5 + 1.0 + 1.5 + 5.0 + 99.0)
+
+
+def test_histogram_rejects_degenerate_buckets():
+    with pytest.raises(ValueError):
+        Histogram("h", buckets=())
+    with pytest.raises(ValueError):
+        Histogram("h", buckets=(1.0, 1.0))
+
+
+def test_timeseries_cap_drops_newest_and_counts():
+    ts = Timeseries("t", max_points=3)
+    for i in range(5):
+        ts.observe(float(i), i * 10.0)
+    assert ts.points() == [(0.0, 0.0), (1.0, 10.0), (2.0, 20.0)]
+    assert ts.dropped == 2
+
+
+# --------------------------------------------------------------------------- #
+# Registry                                                                    #
+# --------------------------------------------------------------------------- #
+
+
+def test_registry_get_or_create_returns_same_instrument():
+    reg = MetricsRegistry()
+    a = reg.counter("x", "first")
+    b = reg.counter("x", "second registration ignored")
+    assert a is b
+    assert reg.get("x") is a
+
+
+def test_registry_kind_mismatch_raises():
+    reg = MetricsRegistry()
+    reg.counter("x")
+    with pytest.raises(ValueError):
+        reg.gauge("x")
+
+
+def test_registry_snapshot_and_reset():
+    reg = MetricsRegistry()
+    reg.counter("a").inc(2)
+    reg.histogram("b", buckets=(1.0,)).observe(0.5)
+    snap = reg.snapshot()
+    assert snap["a"]["kind"] == "counter"
+    assert snap["a"]["values"][""] == 2
+    assert snap["b"]["values"][""]["count"] == 1
+    reg.reset()
+    assert reg.snapshot() == {}
+
+
+# --------------------------------------------------------------------------- #
+# Prometheus text exposition                                                  #
+# --------------------------------------------------------------------------- #
+
+
+def test_prometheus_render_simple_and_labeled():
+    reg = MetricsRegistry()
+    reg.counter("jobs_total", "Jobs done").inc(3)
+    reg.gauge("workers", "Pool size").set(4)
+    labeled = reg.counter("points_total", "Points", labels=("source",))
+    labeled.inc(7, source="executed")
+    text = render(reg)
+    assert "# HELP jobs_total Jobs done" in text
+    assert "# TYPE jobs_total counter" in text
+    assert "jobs_total 3" in text
+    assert "workers 4" in text
+    assert 'points_total{source="executed"} 7' in text
+    assert CONTENT_TYPE.startswith("text/plain")
+
+
+def test_prometheus_render_histogram_is_cumulative():
+    reg = MetricsRegistry()
+    h = reg.histogram("lat", "Latency", buckets=(1.0, 2.0))
+    for v in (0.5, 1.5, 99.0):
+        h.observe(v)
+    text = render(reg)
+    assert 'lat_bucket{le="1"} 1' in text
+    assert 'lat_bucket{le="2"} 2' in text
+    assert 'lat_bucket{le="+Inf"} 3' in text
+    assert "lat_count 3" in text
+    assert "lat_sum 101" in text
+    assert "# TYPE lat histogram" in text
+
+
+def test_prometheus_skips_timeseries():
+    reg = MetricsRegistry()
+    reg.timeseries("vt").observe(0.0, 1.0)
+    reg.counter("c").inc()
+    text = render(reg)
+    assert "vt" not in text
+    assert "# TYPE c counter" in text

@@ -1,0 +1,111 @@
+"""Serve-daemon observability: metrics verb, Prometheus text, logging."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.serve import protocol
+from repro.serve.logs import (
+    JsonFormatter,
+    KVFormatter,
+    configure_logging,
+    log_event,
+    server_logger,
+)
+from repro.serve.server import ReproServer
+
+
+@pytest.fixture
+def server(tmp_path):
+    # No start(): handle_request is exercised socket-free.
+    return ReproServer(socket_path=tmp_path / "obs.sock", workers=1)
+
+
+def _request(server, msg):
+    events = []
+    server.handle_request(protocol.parse_request(msg), events.append)
+    return events
+
+
+def test_metrics_verb_returns_prometheus_text(server):
+    (event,) = _request(server, {"verb": "metrics"})
+    assert event["event"] == "metrics"
+    assert event["content_type"].startswith("text/plain")
+    text = event["text"]
+    assert "# TYPE repro_serve_requests_total counter" in text
+    assert "repro_serve_workers 1" in text
+    assert "repro_serve_active_jobs 0" in text
+
+
+def test_request_counters_and_latency_accumulate(server):
+    _request(server, {"verb": "ping"})
+    _request(server, {"verb": "ping"})
+    (event,) = _request(server, {"verb": "metrics"})
+    text = event["text"]
+    assert 'repro_serve_requests_total{verb="ping"} 2' in text
+    assert 'repro_serve_request_seconds_count{verb="ping"} 2' in text
+    assert 'repro_serve_request_seconds_bucket{verb="ping",le="+Inf"} 2' in text
+
+
+def test_metrics_verb_round_trips_the_protocol():
+    parsed = protocol.parse_request({"verb": "metrics"})
+    assert parsed == {"verb": "metrics"}
+    with pytest.raises(protocol.ProtocolError):
+        protocol.parse_request({"verb": "nope"})
+
+
+# --------------------------------------------------------------------------- #
+# Structured logging                                                          #
+# --------------------------------------------------------------------------- #
+
+
+def _capture(json_mode):
+    stream = io.StringIO()
+    handler = configure_logging("debug", json_mode=json_mode, stream=stream)
+    return stream, handler
+
+
+def teardown_function(_fn):
+    for h in list(server_logger.handlers):
+        server_logger.removeHandler(h)
+
+
+def test_kv_lines_carry_event_and_fields():
+    stream, _ = _capture(json_mode=False)
+    log_event(server_logger, logging.INFO, "job_admitted",
+              job="job-000001", request_key="abcd", coalesced=False)
+    line = stream.getvalue().strip()
+    assert " INFO repro.serve job_admitted " in line
+    assert "job=job-000001" in line and "request_key=abcd" in line
+    assert "coalesced=False" in line
+
+
+def test_json_lines_are_parseable_objects():
+    stream, _ = _capture(json_mode=True)
+    log_event(server_logger, logging.WARNING, "submit_rejected",
+              reason="bad grid", scenario="fig8")
+    obj = json.loads(stream.getvalue().strip())
+    assert obj["event"] == "submit_rejected"
+    assert obj["level"] == "WARNING"
+    assert obj["logger"] == "repro.serve"
+    assert obj["reason"] == "bad grid" and obj["scenario"] == "fig8"
+
+
+def test_configure_logging_is_idempotent():
+    _capture(json_mode=False)
+    _capture(json_mode=True)
+    named = [h for h in server_logger.handlers
+             if h.get_name() == "repro-serve-cli"]
+    assert len(named) == 1
+
+
+def test_level_threshold_suppresses_debug():
+    stream = io.StringIO()
+    configure_logging("warning", stream=stream)
+    log_event(server_logger, logging.DEBUG, "job_running", job="j")
+    log_event(server_logger, logging.INFO, "job_done", job="j")
+    assert stream.getvalue() == ""
+    log_event(server_logger, logging.ERROR, "job_failed", job="j")
+    assert "job_failed" in stream.getvalue()
