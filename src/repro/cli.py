@@ -17,6 +17,8 @@ Run paper experiments and ad-hoc jobs without writing code::
     python -m repro submit fig8 --grid nodes=2,4 --socket /tmp/repro.sock
     python -m repro submit --status --socket /tmp/repro.sock
     python -m repro submit --shutdown --socket /tmp/repro.sock
+    python -m repro fleet serve fig8 --port 0 --journal j.jsonl  # coordinator
+    python -m repro fleet worker --connect HOST:PORT    # join the fleet
     python -m repro trace fig8 --grid nodes=2 --out trace.json  # Perfetto
     python -m repro metrics fig8 --grid nodes=2     # telemetry report
     python -m repro encrypt --nodes 16 --data-gb 32 --backend cell
@@ -35,6 +37,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 from typing import Optional, Sequence
 
@@ -201,6 +204,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="pool worker processes shared by all jobs")
     pserve.add_argument("--cache-dir", type=Path, default=None, metavar="DIR",
                         help="serve through the sweep/point cache in DIR")
+    pserve.add_argument("--abandon-timeout", type=float, default=30.0,
+                        metavar="S",
+                        help="cancel a running job S seconds after its last "
+                             "streaming client disconnects without cancelling "
+                             "(0 disables reaping; default: 30)")
     pserve.add_argument("--log-level", choices=["debug", "info", "warning",
                                                 "error"], default="info",
                         help="structured-log threshold on stderr "
@@ -247,11 +255,120 @@ def build_parser() -> argparse.ArgumentParser:
     psub.add_argument("--metrics", action="store_true",
                       help="print the daemon's Prometheus text exposition "
                            "and exit")
+    psub.add_argument("--retries", type=int, default=0, metavar="N",
+                      help="retry an unreachable daemon or a mid-stream "
+                           "disconnect up to N times (default: 0); submits "
+                           "are idempotent, so a retry coalesces onto the "
+                           "in-flight job or hits the result cache")
+    psub.add_argument("--backoff", type=float, default=0.5, metavar="S",
+                      help="base retry delay in seconds; actual delays are "
+                           "S * 2**attempt with +/-50%% jitter (default: 0.5)")
     psub.add_argument("--out", type=Path, default=None, metavar="DIR",
                       help="save the served result like `repro sweep --out` "
                            "(byte-identical files)")
     psub.add_argument("-v", "--verbose", action="store_true",
                       help="print each point completion as it streams in")
+
+    pfl = sub.add_parser(
+        "fleet",
+        help="distributed sweep fabric: a coordinator handing out point "
+             "leases to a fleet of workers, with failure detection, "
+             "re-dispatch, and crash-resume",
+        epilog="See docs/FAULT_TOLERANCE.md for the failure model and "
+               "tuning.",
+    )
+    pflsub = pfl.add_subparsers(dest="fleet_command", required=True)
+
+    pfs = pflsub.add_parser(
+        "serve",
+        help="coordinate one sweep across connecting workers; exits when "
+             "the sweep completes (or fails loudly)",
+    )
+    pfs.add_argument("scenario",
+                     help="registered scenario name (see `repro scenarios`)")
+    pfs.add_argument("--grid", action="append", default=[],
+                     metavar="KEY=V1,V2,...",
+                     help="override a grid parameter's values or a fixed "
+                          "parameter's value; repeatable")
+    pfs.add_argument("--seed", type=int, default=1234,
+                     help="root seed threaded into every simulated point")
+    pfs.add_argument("--port", type=int, default=None, metavar="P",
+                     help="listen on TCP port P (0 = OS-assigned); "
+                          "exclusive with --socket")
+    pfs.add_argument("--host", default="127.0.0.1",
+                     help="TCP bind address (default: loopback)")
+    pfs.add_argument("--socket", type=Path, default=None, metavar="PATH",
+                     help="listen on a unix socket at PATH")
+    pfs.add_argument("--journal", type=Path, default=None, metavar="PATH",
+                     help="journal accepted points to PATH; restarting with "
+                          "the same journal resumes instead of re-running")
+    pfs.add_argument("--cache-dir", type=Path, default=None, metavar="DIR",
+                     help="serve through the sweep/point cache in DIR")
+    pfs.add_argument("--out", type=Path, default=None, metavar="DIR",
+                     help="save the merged result like `repro sweep --out` "
+                          "(byte-identical files)")
+    pfs.add_argument("--worker-timeout", type=float, default=5.0, metavar="S",
+                     help="heartbeat silence before a worker is declared "
+                          "dead and its leases re-dispatch (default: 5)")
+    pfs.add_argument("--lease-timeout", type=float, default=60.0, metavar="S",
+                     help="max runtime of one leased point before "
+                          "re-dispatch (default: 60)")
+    pfs.add_argument("--batch-size", type=_positive_int, default=4,
+                     help="max points granted per lease (default: 4)")
+    pfs.add_argument("--max-attempts", type=_positive_int, default=3,
+                     help="failed attempts per point before quarantine "
+                          "aborts the sweep (default: 3)")
+    pfs.add_argument("--retry-backoff", type=float, default=0.25, metavar="S",
+                     help="base retry delay; attempt n waits S * 2**(n-1) "
+                          "(default: 0.25)")
+    pfs.add_argument("--no-worker-timeout", type=float, default=30.0,
+                     metavar="S",
+                     help="abort when no live worker exists for S seconds "
+                          "(default: 30)")
+    pfs.add_argument("--linger", type=float, default=1.0, metavar="S",
+                     help="keep answering `done` for S seconds after the "
+                          "sweep completes so workers exit cleanly")
+    pfs.add_argument("--chaos-crash-after", type=int, default=None,
+                     metavar="N",
+                     help="fault injection: crash after accepting N results, "
+                          "leaving the journal (exit 7); for chaos testing")
+    pfs.add_argument("--log-level", choices=["debug", "info", "warning",
+                                             "error"], default="info",
+                     help="structured-log threshold on stderr")
+    pfs.add_argument("--log-json", action="store_true",
+                     help="emit one JSON object per log line")
+
+    pfw = pflsub.add_parser(
+        "worker",
+        help="join a fleet: register with the coordinator, heartbeat, "
+             "execute leased points, stream results back",
+    )
+    pfw.add_argument("--connect", default=None, metavar="[HOST:]PORT",
+                     help="coordinator TCP address; exclusive with --socket")
+    pfw.add_argument("--socket", default=None, metavar="PATH",
+                     help="coordinator unix socket path")
+    pfw.add_argument("--name", default=None,
+                     help="stable worker identity (default: <host>-<pid>)")
+    pfw.add_argument("--capacity", type=_positive_int, default=1,
+                     help="concurrent points to advertise (default: 1)")
+    pfw.add_argument("--heartbeat", type=float, default=0.2, metavar="S",
+                     help="base heartbeat cadence, jittered ±50%% "
+                          "(default: 0.2)")
+    pfw.add_argument("--cache-dir", type=Path, default=None, metavar="DIR",
+                     help="consult/update the point cache in DIR")
+    pfw.add_argument("--reconnect-timeout", type=float, default=30.0,
+                     metavar="S",
+                     help="give up after the coordinator is unreachable "
+                          "for S seconds (default: 30)")
+    pfw.add_argument("--chaos-kill-after", type=int, default=None,
+                     metavar="N",
+                     help="fault injection: die abruptly after delivering "
+                          "N results (exit 7); for chaos testing")
+    pfw.add_argument("--log-level", choices=["debug", "info", "warning",
+                                             "error"], default="info",
+                     help="structured-log threshold on stderr")
+    pfw.add_argument("--log-json", action="store_true",
+                     help="emit one JSON object per log line")
 
     ptr = sub.add_parser(
         "trace",
@@ -541,6 +658,7 @@ def _cmd_serve(args, out) -> int:
         host=args.host,
         workers=args.workers,
         cache_dir=args.cache_dir,
+        abandon_timeout_s=args.abandon_timeout or None,
     )
     server.start()
     cache = f", cache {args.cache_dir}" if args.cache_dir else ""
@@ -553,6 +671,116 @@ def _cmd_serve(args, out) -> int:
     except KeyboardInterrupt:
         server.shutdown(mode="now")
     print("repro serve: shut down cleanly", file=out)
+    return 0
+
+
+def _cmd_fleet_serve(args, out) -> int:
+    # Exit codes: 0 sweep completed, 1 fleet failure (dead fleet,
+    # poison points), 2 usage, 7 deliberate chaos crash (journal kept).
+    from repro.fabric import FleetCoordinator, TrackerConfig
+    from repro.fabric.chaos import CoordinatorChaos
+    from repro.serve.logs import configure_logging
+
+    if (args.port is None) == (args.socket is None):
+        print("error: exactly one of --port and --socket is required",
+              file=out)
+        return 2
+    configure_logging(args.log_level, json_mode=args.log_json)
+    chaos = (CoordinatorChaos(crash_after_results=args.chaos_crash_after)
+             if args.chaos_crash_after is not None else None)
+    try:
+        overrides = parse_grid_overrides(args.grid)
+        coord = FleetCoordinator(
+            args.scenario, overrides, seed=args.seed,
+            port=args.port, socket_path=args.socket, host=args.host,
+            config=TrackerConfig(
+                worker_timeout_s=args.worker_timeout,
+                lease_timeout_s=args.lease_timeout,
+                batch_size=args.batch_size,
+                max_attempts=args.max_attempts,
+                retry_backoff_s=args.retry_backoff,
+            ),
+            journal_path=args.journal, cache_dir=args.cache_dir,
+            no_worker_timeout_s=args.no_worker_timeout,
+            linger_s=args.linger, chaos=chaos,
+        )
+    except (GridError, KeyError) as exc:
+        msg = exc.args[0] if exc.args else str(exc)
+        print(f"error: {msg}", file=out)
+        return 2
+    coord.start()
+    resumed = len(coord.journal.resumed) if coord.journal else 0
+    via = f", resuming {resumed} journaled point(s)" if resumed else ""
+    print(f"repro fleet: coordinating {coord.scenario.name} "
+          f"({coord.total} points) on {coord.endpoint()}{via}; join with "
+          f"`repro fleet worker --connect {coord.endpoint()}`", file=out)
+    out.flush()
+    try:
+        coord.wait()
+    except KeyboardInterrupt:
+        coord.close()
+        print("fleet: interrupted", file=out)
+        return 1
+    if coord.crashed:
+        print(f"fleet: {coord.error}", file=out)
+        return 7
+    if coord.result is None:
+        print(f"error: {coord.error}", file=out)
+        return 1
+    result = coord.result
+    stats = coord.stats()
+    _print_series(result.series, result.xlabel, result.ylabel,
+                  result.title, out)
+    print(file=out)
+    print(sweep_summary(result.series, x_name=result.xlabel), file=out)
+    print(file=out)
+    print(f"fleet {result.scenario}: {len(result.points)} points "
+          f"({stats['results_accepted']} from workers, "
+          f"{result.cached_points} prefilled), "
+          f"{stats['redispatched']} re-dispatched, "
+          f"{stats['duplicates']} duplicates dropped, "
+          f"{stats['speculative_wins']} speculative win(s), "
+          f"sha256 {result.sha256()[:16]}", file=out)
+    if args.out is not None:
+        paths = save_sweep(result, args.out)
+        print(f"wrote {paths['json']} {paths['csv']} {paths['meta']}",
+              file=out)
+    return 0
+
+
+def _cmd_fleet_worker(args, out) -> int:
+    # Exit codes: 0 sweep done, 1 fleet aborted/unreachable, 2 usage,
+    # 7 deliberate chaos death.
+    from repro.fabric import FleetError, FleetWorker
+    from repro.fabric.chaos import WorkerChaos
+    from repro.serve import Address
+    from repro.serve.logs import configure_logging
+
+    if (args.connect is None) == (args.socket is None):
+        print("error: exactly one of --connect and --socket is required",
+              file=out)
+        return 2
+    configure_logging(args.log_level, json_mode=args.log_json)
+    address = Address.parse(args.connect, args.socket)
+    chaos = (WorkerChaos(kill_after_results=args.chaos_kill_after)
+             if args.chaos_kill_after is not None else None)
+    worker = FleetWorker(
+        address, name=args.name, capacity=args.capacity,
+        heartbeat_s=args.heartbeat, cache_dir=args.cache_dir,
+        reconnect_timeout_s=args.reconnect_timeout, chaos=chaos,
+    )
+    try:
+        report = worker.run()
+    except FleetError as exc:
+        print(f"error: {exc}", file=out)
+        return 1
+    if report["killed"]:
+        print(f"worker {report['worker']}: chaos-killed after "
+              f"{report['results_sent']} result(s)", file=out)
+        return 7
+    print(f"worker {report['worker']}: done — {report['results_sent']} "
+          f"result(s) delivered, {report['cache_hits']} from point cache, "
+          f"{report['reconnects']} reconnect(s)", file=out)
     return 0
 
 
@@ -577,16 +805,61 @@ def _print_served_result(event, args, out) -> int:
     return 0
 
 
+def _stream_submit(address, request, args, out) -> Optional[int]:
+    """One submit attempt against the daemon. Returns an exit code, or
+    None when the server closed the stream without a terminal event —
+    a mid-stream disconnect the caller may retry (submits coalesce, so
+    a retry attaches to the in-flight job rather than recomputing)."""
+    from repro.serve import request_stream
+
+    for event in request_stream(address, request):
+        kind = event.get("event")
+        if kind == "accepted":
+            via = " (coalesced onto in-flight job)" if event["coalesced"] else ""
+            print(f"accepted {event['job']}{via}: {event['done']}/"
+                  f"{event['total']} points, key "
+                  f"{event['request_key'][:16]}", file=out)
+            if args.detach:
+                print(f"detached; poll with: repro submit --status "
+                      f"{event['job']}", file=out)
+                return 0
+        elif kind == "point" and args.verbose:
+            params = " ".join(f"{k}={v}" for k, v in event["params"].items())
+            print(f"  point {event['done']}/{event['total']}: {params}",
+                  file=out)
+        elif kind == "result":
+            return _print_served_result(event, args, out)
+        elif kind == "cancelled":
+            print(f"job {event['job']} cancelled", file=out)
+            return 3
+        elif kind == "error":
+            print(f"error: {event['message']}", file=out)
+            return 1 if "job" in event else 2
+    return None
+
+
 def _cmd_submit(args, out) -> int:
-    # Exit codes mirror `repro sweep`: 0 served, 2 usage/protocol error,
-    # 3 job cancelled, 1 job failed.
+    # Exit codes mirror `repro sweep`, with one addition: 0 served,
+    # 1 job failed, 2 usage/protocol error, 3 job cancelled, 4 daemon
+    # unreachable (connection refused, dead socket, or a mid-stream
+    # disconnect that survived every --retries attempt) — so scripts
+    # can tell "the job is bad" from "the daemon is down".
     from repro.analysis.report import serve_jobs_table
-    from repro.serve import Address, ProtocolError, protocol, request_one, request_stream
+    from repro.serve import (
+        Address,
+        ProtocolError,
+        protocol,
+        request_one,
+        retry_delays,
+    )
 
     try:
         address = Address.parse(args.connect, args.socket)
     except ValueError as exc:
         print(f"error: {exc}", file=out)
+        return 2
+    if args.retries < 0 or args.backoff < 0:
+        print("error: --retries and --backoff must be >= 0", file=out)
         return 2
 
     control = [opt for opt in ("status", "cancel", "shutdown")
@@ -653,35 +926,40 @@ def _cmd_submit(args, out) -> int:
         request = protocol.submit_request(
             args.scenario, overrides, seed=args.seed, detach=args.detach
         )
-        for event in request_stream(address, request):
-            kind = event.get("event")
-            if kind == "accepted":
-                via = " (coalesced onto in-flight job)" if event["coalesced"] else ""
-                print(f"accepted {event['job']}{via}: {event['done']}/"
-                      f"{event['total']} points, key "
-                      f"{event['request_key'][:16]}", file=out)
-                if args.detach:
-                    print(f"detached; poll with: repro submit --status "
-                          f"{event['job']}", file=out)
-                    return 0
-            elif kind == "point" and args.verbose:
-                params = " ".join(f"{k}={v}" for k, v in event["params"].items())
-                print(f"  point {event['done']}/{event['total']}: {params}",
-                      file=out)
-            elif kind == "result":
-                return _print_served_result(event, args, out)
-            elif kind == "cancelled":
-                print(f"job {event['job']} cancelled", file=out)
-                return 3
-            elif kind == "error":
-                print(f"error: {event['message']}", file=out)
-                return 1 if "job" in event else 2
-        print("error: server closed the connection without a terminal event",
-              file=out)
+    except ProtocolError as exc:
+        print(f"error: daemon at {address} answered garbage: {exc}", file=out)
         return 2
-    except (OSError, ProtocolError) as exc:
+    except OSError as exc:
         print(f"error: cannot reach daemon at {address}: {exc}", file=out)
-        return 2
+        return 4
+
+    delays = retry_delays(args.retries, args.backoff)
+    attempt = 0
+    while True:
+        try:
+            code = _stream_submit(address, request, args, out)
+            failure = ("server closed the connection without a terminal "
+                       "event") if code is None else None
+        except ProtocolError as exc:
+            print(f"error: daemon at {address} answered garbage: {exc}",
+                  file=out)
+            return 2
+        except OSError as exc:
+            code, failure = None, str(exc)
+        if code is not None:
+            return code
+        delay = next(delays, None)
+        if delay is None:
+            print(f"error: cannot reach daemon at {address}: {failure}"
+                  + (f" (after {attempt} retr"
+                     f"{'y' if attempt == 1 else 'ies'})" if attempt else ""),
+                  file=out)
+            return 4
+        attempt += 1
+        print(f"daemon at {address} unreachable ({failure}); retry "
+              f"{attempt}/{args.retries} in {delay:.2f}s", file=out)
+        out.flush()
+        time.sleep(delay)
 
 
 def _resolve_point(args, out):
@@ -841,6 +1119,10 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _cmd_serve(args, out)
     if args.command == "submit":
         return _cmd_submit(args, out)
+    if args.command == "fleet":
+        if args.fleet_command == "serve":
+            return _cmd_fleet_serve(args, out)
+        return _cmd_fleet_worker(args, out)
     if args.command == "trace":
         return _cmd_trace(args, out)
     if args.command == "metrics":

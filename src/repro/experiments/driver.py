@@ -229,7 +229,9 @@ def dispatch_tasks(
         )
     if pool is None:
         pool = shared_pool(min(workers, len(tasks)))
-    return pool.start_method, pool.imap_unordered(_run_point_task, tasks)
+    # run_tasks (not imap_unordered): survives a worker process killed
+    # mid-point by respawning the pool and re-dispatching lost tasks.
+    return pool.start_method, pool.run_tasks(_run_point_task, tasks)
 
 
 def run_sweep(

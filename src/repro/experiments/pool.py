@@ -25,6 +25,15 @@ Two wrinkles the pool handles:
   :func:`repro.experiments.registry.epoch`; the pool notices on its
   next use and transparently respawns, so late-registered scenarios
   always resolve in workers.
+- **Worker death.** A pool worker SIGKILLed mid-task used to wedge the
+  sweep forever: ``multiprocessing.Pool`` replaces the process but the
+  in-flight task's result simply never arrives. :meth:`SweepPool.reap_dead`
+  detects the death (exitcode or pid-set drift against the spawn-time
+  baseline), respawns the pool, and :meth:`SweepPool.run_tasks` — the
+  dispatch loop the driver and the serving layer use — re-dispatches
+  every unfinished task. Tasks are idempotent pure functions, so a
+  re-dispatch can at worst produce a duplicate result, which is
+  deduplicated by index on receipt.
 - **Concurrent callers.** The ``repro serve`` daemon multiplexes many
   concurrent jobs onto one pool from multiple threads, so the pool's
   lifecycle (lazy spawn, registry respawn, close) is guarded by a lock.
@@ -40,6 +49,7 @@ import atexit
 import multiprocessing
 import os
 import threading
+from queue import Empty, SimpleQueue
 from typing import Any, Callable, Iterable, Iterator, Optional
 
 from repro.experiments import registry
@@ -96,6 +106,11 @@ class SweepPool:
         self._pool: Optional[multiprocessing.pool.Pool] = None
         self._registry_epoch: Optional[int] = None
         self._lock = threading.Lock()
+        #: PIDs the live pool was spawned with — the baseline reap_dead
+        #: compares against to detect killed-and-respawned workers.
+        self._pids: Optional[frozenset[int]] = None
+        #: Worker deaths detected (and survived) over this pool's life.
+        self.deaths_detected = 0
 
     @property
     def started(self) -> bool:
@@ -114,6 +129,7 @@ class SweepPool:
                 ctx = multiprocessing.get_context(self.start_method)
                 self._pool = ctx.Pool(processes=self.workers)
                 self._registry_epoch = epoch
+                self._pids = frozenset(p.pid for p in self._pool._pool)  # noqa: SLF001
             return self._pool
 
     def imap_unordered(
@@ -140,6 +156,87 @@ class SweepPool:
             fn, args, callback=callback, error_callback=error_callback
         )
 
+    def reap_dead(self) -> bool:
+        """Detect a killed worker process; tear the pool down if so.
+
+        A ``multiprocessing.Pool`` survives a SIGKILLed worker (its
+        maintenance thread forks a replacement) but the task that worker
+        was executing is silently lost — the ``AsyncResult`` never
+        completes and a bare ``imap_unordered`` consumer wedges forever.
+        Detection is two-pronged because the maintenance thread races
+        us: a dead ``Process`` object still in the pool list has a
+        non-None exitcode, and a replaced one changes the pid set away
+        from the spawn-time baseline. On detection the pool is torn
+        down (the next use respawns it cleanly) and the caller must
+        re-dispatch whatever it has not yet received — which is exactly
+        what :meth:`run_tasks` does.
+
+        Returns True when a death was detected (pool was reset).
+        """
+        with self._lock:
+            if self._pool is None:
+                return False
+            procs = list(self._pool._pool)  # noqa: SLF001
+            dead = any(p.exitcode is not None for p in procs)
+            if not dead and self._pids is not None:
+                dead = frozenset(p.pid for p in procs) != self._pids
+            if not dead:
+                return False
+            self.deaths_detected += 1
+            self._close_locked()
+            return True
+
+    def run_tasks(
+        self,
+        fn: Callable[[Any], Any],
+        tasks: Iterable[Any],
+        poll_s: float = 0.2,
+    ) -> Iterator[Any]:
+        """Death-tolerant ``imap_unordered``: stream ``fn(task)`` results
+        in completion order, surviving SIGKILLed workers.
+
+        Every task is dispatched individually (``apply_async``) onto a
+        completion queue. When the queue stays silent for ``poll_s`` the
+        pool is health-checked; a detected death respawns the workers
+        and re-dispatches every task whose result has not arrived yet.
+        Tasks must be idempotent pure functions (the sweep contract): a
+        task that was merely queued — not lost — may then complete
+        twice, and the first result wins. Exceptions raised *by tasks*
+        still propagate to the caller; only silent worker death is
+        retried.
+        """
+        tasks = list(tasks)
+        total = len(tasks)
+        if not total:
+            return
+        completions: SimpleQueue = SimpleQueue()
+        received = [False] * total
+
+        def submit(indices) -> None:
+            for i in indices:
+                self.apply_async(
+                    fn, (tasks[i],),
+                    callback=lambda r, i=i: completions.put((i, r, None)),
+                    error_callback=lambda e, i=i: completions.put((i, None, e)),
+                )
+
+        submit(range(total))
+        done = 0
+        while done < total:
+            try:
+                i, result, error = completions.get(timeout=poll_s)
+            except Empty:
+                if self.reap_dead():
+                    submit(i for i in range(total) if not received[i])
+                continue
+            if received[i]:
+                continue  # duplicate from a pre-respawn dispatch
+            if error is not None:
+                raise error
+            received[i] = True
+            done += 1
+            yield result
+
     def worker_pids(self) -> list[int]:
         """PIDs of the live worker processes (empty before first use) —
         lets tests assert that consecutive sweeps reused the same
@@ -159,6 +256,7 @@ class SweepPool:
             self._pool.join()
             self._pool = None
             self._registry_epoch = None
+            self._pids = None
 
     def __enter__(self) -> "SweepPool":
         return self

@@ -1,0 +1,146 @@
+"""The coordinator's completion journal: crash → resume, not re-run.
+
+One JSONL file per sweep: a header line binding the journal to its
+request key, then one line per accepted point. The coordinator appends
+(and flushes) a line the moment a point's result is accepted, so after
+a coordinator crash the replacement process replays the journal and
+re-enqueues only the points that never completed. On a successful
+finish the journal is removed — a lingering journal always means an
+unfinished sweep.
+
+Resume safety rules:
+
+- the header's ``request_key`` must match the resuming coordinator's
+  key exactly; a mismatched journal is *stale* (code changed, grid
+  changed, seed changed — any of which makes its values unusable) and
+  is discarded, not merged;
+- a torn final line (the crash landed mid-write) is dropped silently —
+  at worst one point re-runs, and re-running a pure point is free of
+  consequence;
+- duplicate indices keep the first occurrence, mirroring the
+  tracker's first-result-wins acceptance.
+
+Values round-trip through JSON ``repr`` exactly, so a resumed sweep's
+final bytes are identical to an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Mapping, Optional, TextIO
+
+from repro.wire import encode
+
+__all__ = ["Journal"]
+
+_JOURNAL_FORMAT = 1
+
+
+class Journal:
+    """Append-only record of accepted points for one sweep."""
+
+    def __init__(self, path: Path, request_key: str, scenario: str, total: int):
+        self.path = Path(path)
+        self.request_key = request_key
+        self.scenario = scenario
+        self.total = total
+        self._fh: Optional[TextIO] = None
+        #: Points recovered from a prior coordinator's journal.
+        self.resumed: dict[int, tuple[dict[str, float], Optional[float]]] = {}
+        #: True when a journal existed but belonged to a different
+        #: request (stale) and was discarded.
+        self.discarded_stale = False
+
+    # -- lifecycle -----------------------------------------------------------
+    def open(self) -> "Journal":
+        """Load any prior journal at ``path`` (populating ``resumed``),
+        then (re)open the file for appending — rewritten from the
+        recovered state, so a resumed journal is always well-formed."""
+        self._load_existing()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = self.path.open("w", encoding="utf-8")
+        self._write_line({
+            "format": _JOURNAL_FORMAT,
+            "request_key": self.request_key,
+            "scenario": self.scenario,
+            "total": self.total,
+        })
+        for index, (values, elapsed) in sorted(self.resumed.items()):
+            self._write_line(self._point_line(index, values, elapsed))
+        return self
+
+    def _load_existing(self) -> None:
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError):
+            return
+        lines = text.splitlines()
+        if not lines:
+            return
+        try:
+            header = json.loads(lines[0])
+        except ValueError:
+            self.discarded_stale = True
+            return
+        if (not isinstance(header, dict)
+                or header.get("format") != _JOURNAL_FORMAT
+                or header.get("request_key") != self.request_key):
+            self.discarded_stale = True
+            return
+        for line in lines[1:]:
+            try:
+                row = json.loads(line)
+            except ValueError:
+                continue  # torn tail from a mid-write crash
+            if (not isinstance(row, dict) or "index" not in row
+                    or not isinstance(row.get("values"), dict)):
+                continue
+            index = row["index"]
+            if (isinstance(index, int) and 0 <= index < self.total
+                    and index not in self.resumed):
+                self.resumed[index] = (row["values"], row.get("elapsed_s"))
+
+    def record(
+        self, index: int, values: Mapping[str, float],
+        elapsed_s: Optional[float],
+    ) -> None:
+        """Persist one accepted point. Flushed immediately: the journal
+        exists precisely for the case where the next instruction never
+        executes."""
+        if self._fh is None:
+            raise RuntimeError("journal is not open")
+        self._write_line(self._point_line(index, dict(values), elapsed_s))
+        os.fsync(self._fh.fileno())
+
+    @staticmethod
+    def _point_line(
+        index: int, values: Mapping[str, float], elapsed_s: Optional[float]
+    ) -> dict[str, Any]:
+        line: dict[str, Any] = {"index": index, "values": dict(values)}
+        if elapsed_s is not None:
+            line["elapsed_s"] = elapsed_s
+        return line
+
+    def _write_line(self, obj: Mapping[str, Any]) -> None:
+        assert self._fh is not None
+        self._fh.write(encode(obj).decode("utf-8"))
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            except OSError:
+                pass
+            self._fh = None
+
+    def remove(self) -> None:
+        """The sweep finished and its result is safely assembled; a
+        journal left behind would only invite a pointless resume."""
+        self.close()
+        try:
+            self.path.unlink()
+        except OSError:
+            pass

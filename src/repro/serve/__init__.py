@@ -17,7 +17,13 @@ Layering:
 - :mod:`repro.serve.client` — the thin client ``repro submit`` uses.
 """
 
-from repro.serve.client import Address, request_one, request_stream, wait_for_server
+from repro.serve.client import (
+    Address,
+    request_one,
+    request_stream,
+    retry_delays,
+    wait_for_server,
+)
 from repro.serve.jobs import Job, JobRequest, JobTable
 from repro.serve.protocol import PROTOCOL_VERSION, ProtocolError
 from repro.serve.server import ReproServer
@@ -32,5 +38,6 @@ __all__ = [
     "ReproServer",
     "request_one",
     "request_stream",
+    "retry_delays",
     "wait_for_server",
 ]

@@ -9,10 +9,11 @@ exactly the behavior users get.
 
 from __future__ import annotations
 
+import random
 import socket
 import time
 from pathlib import Path
-from typing import Any, Iterator, Mapping, Optional, Union
+from typing import Any, Callable, Iterator, Mapping, Optional, Union
 
 from repro.serve import protocol
 
@@ -21,6 +22,7 @@ __all__ = [
     "connect",
     "request_one",
     "request_stream",
+    "retry_delays",
     "wait_for_server",
 ]
 
@@ -106,6 +108,25 @@ def request_one(
     for event in request_stream(address, msg, timeout=timeout):
         return event
     raise protocol.ProtocolError("server closed the connection without replying")
+
+
+def retry_delays(
+    retries: int,
+    backoff: float,
+    rng: Optional[Callable[[], float]] = None,
+) -> Iterator[float]:
+    """Sleep schedule for reconnect attempts: ``retries`` delays of
+    ``backoff * 2**attempt``, each scaled by a uniform jitter factor in
+    ``[0.5, 1.5)`` so a fleet of clients retrying against one daemon
+    does not thunder in lockstep. ``rng`` (a 0→[0,1) callable) is
+    injectable for deterministic tests."""
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    if backoff < 0:
+        raise ValueError(f"backoff must be >= 0, got {backoff}")
+    draw = rng if rng is not None else random.random
+    for attempt in range(retries):
+        yield backoff * (2 ** attempt) * (0.5 + draw())
 
 
 def wait_for_server(

@@ -126,6 +126,13 @@ class Job:
         self._lock = threading.Lock()
         self._subs: list[SimpleQueue] = []
         self._cancel = threading.Event()
+        # Abandonment tracking: a job whose last *streaming* client
+        # disconnected mid-run (without an explicit cancel) holds a
+        # lease that expires instead of leaking — see
+        # ReproServer.abandon_timeout_s. Jobs submitted with detach
+        # never subscribe, so they are exempt by construction.
+        self._had_subscriber = False
+        self._idle_since: Optional[float] = None
 
     # -- subscriber fan-out --------------------------------------------------
     def subscribe(self) -> SimpleQueue:
@@ -138,6 +145,8 @@ class Job:
                 q.put(self._terminal_event_locked())
             else:
                 self._subs.append(q)
+                self._had_subscriber = True
+                self._idle_since = None
         return q
 
     def unsubscribe(self, q: SimpleQueue) -> None:
@@ -146,6 +155,21 @@ class Job:
                 self._subs.remove(q)
             except ValueError:
                 pass
+            if (not self._subs and self._had_subscriber
+                    and self.state not in TERMINAL_STATES
+                    and self._idle_since is None):
+                self._idle_since = self._clock()
+
+    def abandoned_for(self, now: float) -> float:
+        """Seconds this job has been running with every one of its
+        streaming clients gone. 0.0 while any subscriber is attached,
+        for detach-submitted jobs (which never subscribe), and for
+        terminal jobs — the reaper only ever sees positive values for
+        genuinely orphaned leases."""
+        with self._lock:
+            if self._idle_since is None or self.state in TERMINAL_STATES:
+                return 0.0
+            return now - self._idle_since
 
     def _publish_locked(self, event: dict[str, Any]) -> None:
         for q in self._subs:

@@ -51,8 +51,11 @@ processes, so one daemon serves all four mode combinations at once.
 
 from __future__ import annotations
 
-import json
-from typing import Any, Iterator, Mapping, Optional, Union
+from typing import Any, Mapping, Optional
+
+# The line-JSON framing itself lives in repro.wire (shared with the
+# fleet protocol); re-exported here so existing imports keep working.
+from repro.wire import ProtocolError, decode, encode, read_events
 
 __all__ = [
     "PROTOCOL_VERSION",
@@ -71,37 +74,6 @@ VERBS = ("submit", "status", "cancel", "shutdown", "ping", "metrics")
 
 #: Shutdown modes: graceful waits for running jobs, now cancels them.
 SHUTDOWN_MODES = ("graceful", "now")
-
-
-class ProtocolError(ValueError):
-    """Malformed frames or structurally invalid requests."""
-
-
-def encode(msg: Mapping[str, Any]) -> bytes:
-    """One message as one compact JSON line (the only frame shape)."""
-    return json.dumps(msg, sort_keys=True, separators=(",", ":")).encode() + b"\n"
-
-
-def decode(line: Union[bytes, str]) -> dict[str, Any]:
-    """Parse one frame; anything but a JSON object is a protocol error."""
-    if isinstance(line, bytes):
-        line = line.decode("utf-8", errors="replace")
-    try:
-        msg = json.loads(line)
-    except ValueError as exc:
-        raise ProtocolError(f"invalid JSON frame: {exc}") from None
-    if not isinstance(msg, dict):
-        raise ProtocolError(
-            f"frame must be a JSON object, got {type(msg).__name__}"
-        )
-    return msg
-
-
-def read_events(stream) -> Iterator[dict[str, Any]]:
-    """Decode response lines from a binary file-like until EOF."""
-    for line in stream:
-        if line.strip():
-            yield decode(line)
 
 
 def submit_request(

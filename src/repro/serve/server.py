@@ -80,6 +80,12 @@ class ReproServer:
     pool: an existing :class:`SweepPool` to serve on (left open on
         shutdown unless ``owns_pool=True``). Default: a dedicated pool
         the server closes on shutdown.
+    abandon_timeout_s: how long a running job may outlive its last
+        streaming client before it is reaped (cancelled) — the lease a
+        mid-stream disconnect leaves behind expires instead of leaking
+        pool capacity. A job keeps running while *any* coalesced
+        client is still attached, and detach-submitted jobs are never
+        reaped (their clients poll by job id). None disables reaping.
     clock: time source for the job table (tests inject a fake one).
     """
 
@@ -93,6 +99,7 @@ class ReproServer:
         cache_dir: Optional[Path] = None,
         pool: Optional[SweepPool] = None,
         owns_pool: Optional[bool] = None,
+        abandon_timeout_s: Optional[float] = 30.0,
         clock: Callable[[], float] = time.monotonic,
     ):
         if (port is None) == (socket_path is None):
@@ -108,6 +115,7 @@ class ReproServer:
         self.pool = pool
         self.workers = pool.workers
         self._owns_pool = owns_pool
+        self.abandon_timeout_s = abandon_timeout_s
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.point_cache = PointCache(self.cache_dir) if self.cache_dir else None
         self.timings = TimingStore(self.cache_dir) if self.cache_dir else None
@@ -146,6 +154,14 @@ class ReproServer:
         self._m_jobs = self.metrics.counter(
             "repro_serve_jobs_total", "Jobs reaching a terminal state, by outcome",
             labels=("outcome",),
+        )
+        self._m_reaped = self.metrics.counter(
+            "repro_serve_jobs_reaped_total",
+            "Running jobs cancelled after every streaming client vanished",
+        )
+        self._m_worker_deaths = self.metrics.counter(
+            "repro_serve_worker_deaths_total",
+            "Pool worker deaths detected and survived mid-job",
         )
 
     # -- lifecycle -----------------------------------------------------------
@@ -533,36 +549,86 @@ class ReproServer:
     ) -> bool:
         """Run ``tasks`` on the pool, at most ``workers`` in flight;
         False when the job was cancelled before every task finished.
-        Completed indices are appended to ``executed``."""
+        Completed indices are appended to ``executed``.
+
+        The completion wait polls rather than blocks, which buys two
+        kinds of fault tolerance: a SIGKILLed pool worker (whose task
+        would otherwise never complete) is detected via
+        :meth:`SweepPool.reap_dead` and the whole in-flight wave is
+        re-dispatched onto the respawned pool, and a job every
+        streaming client abandoned mid-run is reaped (cancelled) after
+        ``abandon_timeout_s`` instead of leaking its lease. Tasks are
+        idempotent pure point functions, so a re-dispatch can at worst
+        deliver a duplicate result — deduplicated here by index."""
         completions: SimpleQueue = SimpleQueue()
         it = iter(tasks)
-        inflight = 0
+        inflight: dict[int, Any] = {}  # point index -> task tuple
+
+        def dispatch(task) -> None:
+            self.pool.apply_async(
+                _run_point_task, (task,),
+                callback=completions.put,
+                error_callback=completions.put,
+            )
+
         while True:
+            self._maybe_reap_abandoned(job)
             if not job.cancelled:
-                while inflight < self.workers:
+                while len(inflight) < self.workers:
                     task = next(it, None)
                     if task is None:
                         break
-                    self.pool.apply_async(
-                        _run_point_task, (task,),
-                        callback=completions.put,
-                        error_callback=completions.put,
-                    )
-                    inflight += 1
-            if inflight == 0:
+                    inflight[task[1]] = task
+                    dispatch(task)
+            if not inflight:
                 return not job.cancelled
-            outcome = completions.get()
-            inflight -= 1
+            try:
+                outcome = completions.get(timeout=0.5)
+            except Empty:
+                # A silent pool may just be slow — or a worker died and
+                # its task is gone for good. Health-check, and respawn +
+                # re-dispatch the whole wave when a death is detected
+                # (the terminated pool drops its queue, so at most one
+                # stale duplicate per point can still arrive).
+                if self.pool.reap_dead():
+                    log_event(server_logger, logging.WARNING,
+                              "pool_worker_died", job=job.id,
+                              redispatched=len(inflight),
+                              deaths=self.pool.deaths_detected)
+                    self._m_worker_deaths.inc()
+                    for task in inflight.values():
+                        dispatch(task)
+                continue
             if isinstance(outcome, BaseException):
                 raise outcome
             idx, values, dt, _snap = outcome
+            if inflight.pop(idx, None) is None:
+                continue  # duplicate from a pre-respawn dispatch
             results[idx] = values
             point_elapsed[idx] = dt
             executed.append(idx)
             params = {k: v for k, v in points[idx].items() if k != "seed"}
             job.publish_point(idx, params, values)
-            if job.cancelled and inflight == 0:
+            if job.cancelled and not inflight:
                 return False
+
+    def _maybe_reap_abandoned(self, job: Job) -> None:
+        """Cancel a running job whose last streaming client vanished
+        more than ``abandon_timeout_s`` ago — a disconnect without a
+        cancel must expire the lease, not leak pool capacity forever.
+        Jobs with any attached subscriber (coalesced survivors) and
+        detach-submitted jobs never accrue abandonment time."""
+        timeout = self.abandon_timeout_s
+        if timeout is None or job.cancelled:
+            return
+        idle = job.abandoned_for(self._clock())
+        if idle <= timeout:
+            return
+        log_event(server_logger, logging.WARNING, "job_reaped",
+                  job=job.id, request_key=job.key, idle_s=round(idle, 3),
+                  timeout_s=timeout)
+        self._m_reaped.inc()
+        job.cancel()
 
     def _store_fresh(self, sc, indices, results, point_elapsed,
                      cache_keys, cost_keys) -> None:

@@ -1,0 +1,66 @@
+"""Line-delimited JSON framing shared by every repro socket service.
+
+Both network layers in this codebase — the ``repro serve`` daemon
+(:mod:`repro.serve.protocol`) and the ``repro fleet``
+coordinator/worker fabric (:mod:`repro.fabric.protocol`) — speak the
+same trivially-debuggable frame shape: one JSON object per line,
+UTF-8, newline-terminated. This module is the one definition of that
+framing, so the two protocols cannot drift apart on encoding details
+(float precision in particular: ``json.dumps`` serializes floats at
+full ``repr`` precision, which is what lets values round-trip through
+the wire bit-for-bit and keeps served/fleet payloads byte-identical to
+offline sweeps).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterator, Mapping, Union
+
+__all__ = ["ProtocolError", "decode", "encode", "read_events", "recv_msg", "send_msg"]
+
+
+class ProtocolError(ValueError):
+    """Malformed frames or structurally invalid requests."""
+
+
+def encode(msg: Mapping[str, Any]) -> bytes:
+    """One message as one compact JSON line (the only frame shape)."""
+    return json.dumps(msg, sort_keys=True, separators=(",", ":")).encode() + b"\n"
+
+
+def decode(line: Union[bytes, str]) -> dict[str, Any]:
+    """Parse one frame; anything but a JSON object is a protocol error."""
+    if isinstance(line, bytes):
+        line = line.decode("utf-8", errors="replace")
+    try:
+        msg = json.loads(line)
+    except ValueError as exc:
+        raise ProtocolError(f"invalid JSON frame: {exc}") from None
+    if not isinstance(msg, dict):
+        raise ProtocolError(
+            f"frame must be a JSON object, got {type(msg).__name__}"
+        )
+    return msg
+
+
+def read_events(stream) -> Iterator[dict[str, Any]]:
+    """Decode response lines from a binary file-like until EOF."""
+    for line in stream:
+        if line.strip():
+            yield decode(line)
+
+
+def send_msg(stream, msg: Mapping[str, Any]) -> None:
+    """Write one frame and flush it (a frame is only sent when flushed)."""
+    stream.write(encode(msg))
+    stream.flush()
+
+
+def recv_msg(stream) -> dict[str, Any]:
+    """Read exactly one frame; EOF mid-conversation is a protocol error
+    (the peer hung up without a terminal message)."""
+    line = stream.readline()
+    if not line:
+        raise ProtocolError("connection closed by peer")
+    return decode(line)

@@ -1,0 +1,82 @@
+"""Shared fixtures for the fleet fabric tests.
+
+Registers synthetic scenarios once per session (``replace=True`` keeps
+re-imports benign) with module-level point functions so any execution
+path can resolve them by name:
+
+- ``_fleet_synth`` — pure arithmetic, fast: protocol, lease, and
+  byte-identity mechanics without simulation cost;
+- ``_fleet_slow`` — sleeps per point: keeps leases in flight long
+  enough for failure schedules to land mid-sweep;
+- ``_fleet_poison`` — one grid point always raises: the quarantine
+  path.
+"""
+
+import time
+
+import pytest
+
+from repro.experiments import Scenario, register
+from repro.fabric import TrackerConfig
+
+
+def fleet_synth_point(cfg):
+    return {"y": cfg["k"] * cfg["scale"] + cfg["seed"] / 7.0}
+
+
+def fleet_slow_point(cfg):
+    time.sleep(cfg["delay_s"])
+    return {"y": cfg["k"] * 2.0 + cfg["seed"] / 11.0}
+
+
+def fleet_poison_point(cfg):
+    if cfg["k"] == cfg["bad_k"]:
+        raise ValueError(f"poison point k={cfg['k']}")
+    return {"y": float(cfg["k"])}
+
+
+SYNTH = register(Scenario(
+    name="_fleet_synth",
+    title="fleet synthetic",
+    description="fabric test scenario (fast)",
+    run_point=fleet_synth_point,
+    grid={"k": tuple(range(8))},
+    x="k",
+    curves=("y",),
+    defaults={"scale": 3.0},
+), replace=True)
+
+SLOW = register(Scenario(
+    name="_fleet_slow",
+    title="fleet slow",
+    description="fabric test scenario (sleeps per point)",
+    run_point=fleet_slow_point,
+    grid={"k": tuple(range(8))},
+    x="k",
+    curves=("y",),
+    defaults={"delay_s": 0.1},
+), replace=True)
+
+POISON = register(Scenario(
+    name="_fleet_poison",
+    title="fleet poison",
+    description="fabric test scenario (one point always raises)",
+    run_point=fleet_poison_point,
+    grid={"k": tuple(range(4))},
+    x="k",
+    curves=("y",),
+    defaults={"bad_k": 2},
+), replace=True)
+
+
+@pytest.fixture
+def fast_config():
+    """Tracker tuning scaled for tests: every window small enough that
+    a scripted failure is detected within a fraction of a second."""
+    return TrackerConfig(
+        worker_timeout_s=0.5,
+        lease_timeout_s=5.0,
+        batch_size=2,
+        max_attempts=3,
+        retry_backoff_s=0.05,
+    )

@@ -289,4 +289,6 @@ def test_cli_submit_usage_errors(tmp_path):
     buf = io.StringIO()
     code = cli_main(["submit", "_serve_synth",
                      "--socket", str(tmp_path / "none.sock")], out=buf)
-    assert code == 2 and "cannot reach daemon" in buf.getvalue()
+    # Unreachable daemon is its own exit code (4), distinct from usage
+    # errors (2), failed jobs (1), and cancelled jobs (3).
+    assert code == 4 and "cannot reach daemon" in buf.getvalue()
