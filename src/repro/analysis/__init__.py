@@ -13,10 +13,12 @@ from repro.analysis.report import (
     format_table,
     metrics_snapshot_table,
     paper_comparison_rows,
+    percentile,
     serve_jobs_table,
     sweep_metrics_table,
     sweep_summary,
     sweep_timing_table,
+    tenant_latency_table,
     timeseries_summary_table,
 )
 
@@ -30,11 +32,13 @@ __all__ = [
     "log_slope",
     "metrics_snapshot_table",
     "paper_comparison_rows",
+    "percentile",
     "ratio_between",
     "scaling_efficiency",
     "serve_jobs_table",
     "sweep_metrics_table",
     "sweep_summary",
     "sweep_timing_table",
+    "tenant_latency_table",
     "timeseries_summary_table",
 ]

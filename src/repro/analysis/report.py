@@ -17,13 +17,38 @@ __all__ = [
     "format_table",
     "metrics_snapshot_table",
     "paper_comparison_rows",
+    "percentile",
     "serve_jobs_table",
     "series_table",
     "sweep_metrics_table",
     "sweep_summary",
     "sweep_timing_table",
+    "tenant_latency_table",
     "timeseries_summary_table",
 ]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) by linear interpolation.
+
+    Deterministic and dependency-free (no numpy in the reporting path):
+    sorts the values and interpolates between the two nearest order
+    statistics — numpy's default ``linear`` method, so tables match what
+    a notebook would compute. Raises on an empty sample.
+    """
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * q / 100.0
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return ordered[lo]
+    return ordered[lo] + (ordered[hi] - ordered[lo]) * (rank - lo)
 
 
 def format_table(rows: Sequence[Mapping[str, Any]], columns: Optional[Sequence[str]] = None) -> str:
@@ -97,6 +122,7 @@ _DECISION_COLUMNS = (
     ("assignments", "assignments"),
     ("speculative_assignments", "speculations"),
     ("kills_issued", "kills"),
+    ("preemptions", "preemptions"),
     ("delay_waits", "delay waits"),
     ("heartbeats", "heartbeats"),
     ("heartbeat_parks", "parks"),
@@ -143,6 +169,41 @@ def decision_counters_table(
         for key in extras:
             row[key] = counters.get(key, 0)
         rows.append(row)
+    return format_table(rows)
+
+
+def tenant_latency_table(
+    per_tenant: Mapping[str, Sequence[float]],
+    weights: Optional[Mapping[str, float]] = None,
+) -> str:
+    """Per-tenant job-latency percentiles as a table.
+
+    ``per_tenant`` maps a tenant/workload label to its jobs' submit-to-
+    finish latencies (seconds); ``weights`` optionally carries the
+    tenant's scheduler weight for context. One row per tenant in label
+    order: job count, mean, p50, p95, max — the SLA view of a
+    multi-tenant mix (p95 is what a latency SLO is written against,
+    and the number preemptive fair sharing exists to protect for
+    high-weight tenants).
+    """
+    rows = []
+    for tenant in sorted(per_tenant):
+        lats = list(per_tenant[tenant])
+        if not lats:
+            continue
+        row: dict[str, Any] = {"tenant": tenant}
+        if weights is not None:
+            row["weight"] = weights.get(tenant, 1.0)
+        row.update({
+            "jobs": len(lats),
+            "mean_s": sum(lats) / len(lats),
+            "p50_s": percentile(lats, 50),
+            "p95_s": percentile(lats, 95),
+            "max_s": max(lats),
+        })
+        rows.append(row)
+    if not rows:
+        return "(no tenant latencies)"
     return format_table(rows)
 
 

@@ -53,6 +53,7 @@ from repro.analysis.report import (
     format_table,
     metrics_snapshot_table,
     series_table,
+    tenant_latency_table,
     timeseries_summary_table,
 )
 from repro.experiments import (
@@ -66,6 +67,7 @@ from repro.experiments import (
 from repro.perf import Backend, PAPER_CALIBRATION
 from repro.perf.calibration import GB, MB
 from repro.core import run_empty_job, run_encryption_job, run_pi_job, run_workload_mix
+from repro.hadoop.faults import ChurnPlan
 from repro.hadoop.metrics import analyze_job
 from repro.sched import resolve_scheduler, scheduler_names
 
@@ -440,6 +442,10 @@ def build_parser() -> argparse.ArgumentParser:
                     help="fraction of blades with Cell sockets")
     pm.add_argument("--scheduler", choices=scheduler_names(), default="fifo")
     pm.add_argument("--seed", type=int, default=1234)
+    pm.add_argument("--churn", action="append", default=None, metavar="SPEC",
+                    help="membership churn event, repeatable: join@T, "
+                         "leave@T[:NODE], or storm@T:K[/W] (K youngest "
+                         "blades revoked from T over a W-second window)")
 
     return parser
 
@@ -1070,6 +1076,13 @@ def _cmd_pi(args, out) -> int:
 
 
 def _cmd_multijob(args, out) -> int:
+    churn = None
+    if args.churn:
+        try:
+            churn = ChurnPlan.parse(args.churn)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     mix = run_workload_mix(
         args.nodes,
         num_jobs=args.jobs,
@@ -1079,8 +1092,14 @@ def _cmd_multijob(args, out) -> int:
         samples=args.samples,
         accelerated_fraction=args.accelerated_fraction,
         seed=args.seed,
+        churn=churn,
     )
     print(format_table([r.summary() for r in mix.results]), file=out)
+    print(file=out)
+    per_workload: dict[str, list[float]] = {}
+    for r in mix.results:
+        per_workload.setdefault(r.name.rsplit("-", 1)[0], []).append(r.makespan_s)
+    print(tenant_latency_table(per_workload), file=out)
     print(file=out)
     print(format_table([{
         "scheduler": args.scheduler,

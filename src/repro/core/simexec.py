@@ -17,6 +17,7 @@ from repro.perf.calibration import Backend, CalibrationProfile, GB, PAPER_CALIBR
 from repro.perf.energy import EnergyModel
 from repro.cluster.topology import Cluster, ClusterSpec
 from repro.hadoop.config import JobConf
+from repro.hadoop.faults import ChurnPlan, apply_churn
 from repro.hadoop.job import Job, JobResult
 from repro.hadoop.jobtracker import JobTracker
 from repro.hadoop.tasktracker import TaskTracker
@@ -415,6 +416,7 @@ def run_workload_mix(
     seed: int = 1234,
     accelerated_fraction: float = 1.0,
     trace: bool = False,
+    churn: Optional[ChurnPlan] = None,
     return_cluster: bool = False,
 ):
     """A canned multi-job workload: alternating AES and Pi jobs.
@@ -430,6 +432,13 @@ def run_workload_mix(
     ``i * stagger_s`` seconds. Every job wants every slot
     (``num_map_tasks`` = cluster slot count), so concurrent jobs
     genuinely contend — the regime scheduling policies differ in.
+
+    ``churn`` overlays a scripted membership timeline
+    (:class:`~repro.hadoop.faults.ChurnPlan`) on the run: blades join
+    and leave while the jobs execute, exercising re-execution, runtime
+    tracker registration, and — with a preemptive policy — reclamation
+    against a moving slot pool. ``None`` leaves the execution path
+    untouched.
     """
     sim = SimulatedCluster(
         nodes,
@@ -468,6 +477,9 @@ def run_workload_mix(
                     num_reduce_tasks=1,
                 )
             )
+    if churn:
+        sim.start()
+        apply_churn(sim.env, sim, churn)
     arrivals = [i * stagger_s for i in range(num_jobs)]
     results = sim.run_jobs(confs, arrivals=arrivals)
     mix = WorkloadMixResult(

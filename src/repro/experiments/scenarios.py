@@ -18,7 +18,9 @@ from repro.core.raw import (
     raw_encryption_bandwidth,
     raw_pi_rates,
 )
+from repro.analysis.report import percentile
 from repro.core.simexec import (
+    SimulatedCluster,
     run_empty_job,
     run_encryption_job,
     run_pi_job,
@@ -26,10 +28,13 @@ from repro.core.simexec import (
 )
 from repro.experiments.registry import register
 from repro.experiments.scenario import Scenario
+from repro.hadoop.config import JobConf
+from repro.hadoop.faults import ChurnPlan
 from repro.perf.calibration import GB, Backend, PAPER_CALIBRATION
 
 __all__ = [
     "FIGURE_SCENARIOS",
+    "ELASTIC_SCENARIOS",
     "EXTENSION_SCENARIOS",
     "SCALE_SCENARIOS",
     "SCHED_SCENARIOS",
@@ -373,6 +378,204 @@ SCHED_SCENARIOS = (
         },
         xlabel="Concurrent jobs",
         ylabel="Time (s)",
+    )),
+)
+
+
+# --------------------------------------------------------------------------- #
+# Elastic-membership studies (churn, revocation, multi-tenant SLAs)             #
+# --------------------------------------------------------------------------- #
+
+
+def elastic_point(cfg: Mapping[str, Any]) -> dict[str, float]:
+    """One mixed workload on a cluster that grows and shrinks mid-run.
+
+    A blade joins at ``join_at`` and the youngest live blade is revoked
+    at ``leave_at`` while the jobs execute. The static-membership fair
+    run anchors the cost of churn; the preemptive policy shows whether
+    reclamation helps once the slot pool is moving.
+    """
+    plan = ChurnPlan.elastic(
+        joins=[cfg["join_at"]], leaves=[(cfg["leave_at"], None)]
+    )
+    out = {}
+    for label, policy, churn in (
+        ("Fair (static)", "fair", None),
+        ("Fair (churn)", "fair", plan),
+        ("Fair preempt (churn)", "fair_preempt", plan),
+    ):
+        mix = run_workload_mix(
+            cfg["nodes"],
+            num_jobs=cfg["num_jobs"],
+            scheduler=policy,
+            stagger_s=cfg["stagger_s"],
+            data_gb=cfg["data_gb"],
+            samples=cfg["samples"],
+            seed=cfg["seed"],
+            churn=churn,
+        )
+        out[label] = mix.mean_completion_s
+    return out
+
+
+def spot_storm_point(cfg: Mapping[str, Any]) -> dict[str, float]:
+    """Graceful degradation under a spot-revocation storm.
+
+    ``revoked`` youngest blades are taken away in a window starting at
+    ``at_s``; the two curves bound the operator's choices — ride out the
+    loss versus win replacement capacity back ``replace_after_s`` later.
+    ``revoked=0`` anchors both curves at the undisturbed makespan.
+    """
+    n = cfg["nodes"]
+    victims = [n - i for i in range(cfg["revoked"])]
+    out = {}
+    for label, replace_after_s in (
+        ("No replacement", None),
+        ("Replaced", cfg["replace_after_s"]),
+    ):
+        plan = ChurnPlan.spot_storm(
+            victims,
+            at_time=cfg["at_s"],
+            window_s=cfg["window_s"],
+            replace_after_s=replace_after_s,
+        )
+        mix = run_workload_mix(
+            n,
+            num_jobs=cfg["num_jobs"],
+            scheduler="fair",
+            stagger_s=cfg["stagger_s"],
+            data_gb=cfg["data_gb"],
+            samples=cfg["samples"],
+            seed=cfg["seed"],
+            churn=plan,
+        )
+        out[label] = mix.makespan_s
+    return out
+
+
+#: (tenant, fair-share weight, submission wave) — bronze floods the
+#: cluster first, gold arrives last into a fully-occupied slot pool:
+#: the regime where grant-only fair sharing can only wait for tasks to
+#: finish, and preemption is the difference for the p95 SLO.
+SLA_TENANTS = (("gold", 4.0, 2), ("silver", 2.0, 1), ("bronze", 1.0, 0))
+
+
+def sla_mix_point(cfg: Mapping[str, Any]) -> dict[str, float]:
+    """Per-tenant p95 job latency with and without preemption.
+
+    Three weighted tenants submit Pi jobs in adversarial order (lowest
+    weight first). Metric per curve: the tenant's p95 submit-to-finish
+    latency (``analysis.report.percentile``) under ``fair`` versus
+    ``fair_preempt``.
+    """
+    n, seed = cfg["nodes"], cfg["seed"]
+    maps = n * _CALIB.mappers_per_node
+    out = {}
+    for policy in ("fair", "fair_preempt"):
+        sim = SimulatedCluster(n, seed=seed, scheduler=policy)
+        confs: list[JobConf] = []
+        arrivals: list[float] = []
+        for tenant, weight, wave in SLA_TENANTS:
+            for j in range(cfg["jobs_per_tenant"]):
+                confs.append(JobConf(
+                    name=f"{tenant}-{j}",
+                    workload="pi",
+                    backend=Backend.CELL_SPE_DIRECT,
+                    fallback_backend=Backend.JAVA_PPE,
+                    samples=cfg["samples"],
+                    num_map_tasks=maps,
+                    num_reduce_tasks=1,
+                    weight=weight,
+                ))
+                # Each tenant submits as a burst: same-weight jobs split
+                # slots by granting alone, so any preemption measured is
+                # strictly cross-tenant reclamation.
+                arrivals.append(wave * cfg["stagger_s"])
+        results = sim.run_jobs(confs, arrivals=arrivals)
+        per_tenant: dict[str, list[float]] = {t: [] for t, _, _ in SLA_TENANTS}
+        for conf, res in zip(confs, results):
+            per_tenant[conf.name.rsplit("-", 1)[0]].append(res.makespan_s)
+        for tenant, _, _ in SLA_TENANTS:
+            out[f"{tenant.capitalize()} p95 ({policy})"] = percentile(
+                per_tenant[tenant], 95
+            )
+    return out
+
+
+ELASTIC_SCENARIOS = (
+    register(Scenario(
+        name="elastic",
+        title="Elastic membership: {num_jobs} jobs, join@{join_at:.0f}s "
+              "leave@{leave_at:.0f}s",
+        description="A mixed AES+Pi workload while a blade joins and the "
+                    "youngest live blade is revoked mid-run; static fair "
+                    "sharing vs. churn vs. churn with preemption "
+                    "(repro.hadoop.faults.ChurnPlan).",
+        run_point=elastic_point,
+        grid={"nodes": (2, 4)},
+        x="nodes",
+        curves=("Fair (static)", "Fair (churn)", "Fair preempt (churn)"),
+        defaults={
+            "num_jobs": 3,
+            "stagger_s": 5.0,
+            "data_gb": 1.0,
+            "samples": 1e9,
+            "join_at": 20.0,
+            "leave_at": 60.0,
+        },
+        xlabel="Nodes",
+        ylabel="Mean job completion (s)",
+    )),
+    register(Scenario(
+        name="spot_storm",
+        title="Spot-revocation storm on {nodes} nodes "
+              "(window {window_s:.0f}s)",
+        description="K youngest blades revoked in a window mid-workload, "
+                    "with and without replacement capacity arriving "
+                    "later; workload makespan vs. storm size (graceful-"
+                    "degradation envelope).",
+        run_point=spot_storm_point,
+        grid={"revoked": (0, 1, 2)},
+        x="revoked",
+        curves=("No replacement", "Replaced"),
+        defaults={
+            "nodes": 4,
+            "num_jobs": 4,
+            "stagger_s": 5.0,
+            "data_gb": 2.0,
+            "samples": 4e9,
+            "at_s": 30.0,
+            "window_s": 10.0,
+            "replace_after_s": 15.0,
+        },
+        xlabel="Blades revoked",
+        ylabel="Workload makespan (s)",
+    )),
+    register(Scenario(
+        name="sla_mix",
+        title="Multi-tenant SLA mix: {jobs_per_tenant} jobs/tenant",
+        description="Gold/silver/bronze tenants (weights 4/2/1) submit in "
+                    "adversarial order (bronze floods first); per-tenant "
+                    "p95 job latency under fair vs. preemptive fair "
+                    "sharing.",
+        run_point=sla_mix_point,
+        grid={"nodes": (2, 4)},
+        x="nodes",
+        curves=(
+            "Gold p95 (fair)",
+            "Silver p95 (fair)",
+            "Bronze p95 (fair)",
+            "Gold p95 (fair_preempt)",
+            "Silver p95 (fair_preempt)",
+            "Bronze p95 (fair_preempt)",
+        ),
+        defaults={
+            "jobs_per_tenant": 2,
+            "stagger_s": 8.0,
+            "samples": 1e10,
+        },
+        xlabel="Nodes",
+        ylabel="p95 job completion (s)",
     )),
 )
 

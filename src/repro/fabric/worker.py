@@ -131,6 +131,17 @@ class FleetWorker:
         standalone worker process just gets signalled instead."""
         self._stop.set()
 
+    def _backoff_s(self, attempt: int) -> float:
+        """Reconnect delay for the ``attempt``-th consecutive failure:
+        exponential from 50 ms, capped at 0.5 s, jittered by ±50% so a
+        fleet of workers orphaned together does not reconnect in
+        lockstep. The exponent itself is clamped *before* ``2 **
+        attempt`` is evaluated — during a long coordinator outage the
+        attempt counter keeps climbing, and past ~1000 doublings the
+        intermediate power no longer fits in a float (``OverflowError``)
+        even though the result would just be clamped to 0.5 s anyway."""
+        return min(0.5, 0.05 * 2.0 ** min(attempt, 16)) * (0.5 + self._rng())
+
     # -- top-level loop ------------------------------------------------------
     def run(self) -> dict[str, Any]:
         """Work until the coordinator says ``done`` (returns the
@@ -149,8 +160,7 @@ class FleetWorker:
                         f"{self.address} unreachable for more than "
                         f"{self.reconnect_timeout_s}s: {exc}"
                     ) from exc
-                self._stop.wait(
-                    min(0.5, 0.05 * (2 ** attempt)) * (0.5 + self._rng()))
+                self._stop.wait(self._backoff_s(attempt))
                 attempt += 1
                 continue
             attempt = 0

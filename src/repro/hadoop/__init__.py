@@ -21,9 +21,17 @@ from repro.hadoop.job import Job, JobResult, JobState, TaskRecord
 from repro.hadoop.jobtracker import JobTracker
 from repro.hadoop.tasktracker import TaskTracker
 from repro.hadoop.kernel_bridge import MapKernel
-from repro.hadoop.faults import FaultPlan, kill_node_at
+from repro.hadoop.faults import (
+    ChurnEvent,
+    ChurnPlan,
+    FaultPlan,
+    apply_churn,
+    kill_node_at,
+)
 
 __all__ = [
+    "ChurnEvent",
+    "ChurnPlan",
     "FaultPlan",
     "InputFormat",
     "InputSplit",
@@ -36,5 +44,6 @@ __all__ = [
     "RecordReader",
     "TaskRecord",
     "TaskTracker",
+    "apply_churn",
     "kill_node_at",
 ]

@@ -1,22 +1,44 @@
-"""Fault injection helpers.
+"""Fault and membership-churn injection helpers.
 
-Fail-stop node crashes: the TaskTracker's heartbeats cease, its running
-attempts die, and (optionally) its DataNode's replicas disappear — the
-scenario Hadoop's heartbeat-timeout machinery exists for (§III-A).
+Two layers of disturbance, both riding the same heartbeat machinery:
+
+- **Fail-stop crashes** (:class:`FaultPlan` / :func:`kill_node_at`):
+  a TaskTracker's heartbeats cease, its running attempts die, and
+  (optionally) its DataNode's replicas disappear — the scenario
+  Hadoop's heartbeat-timeout machinery exists for (§III-A).
+- **Membership churn** (:class:`ChurnPlan` / :func:`apply_churn`):
+  scripted join/leave timelines — elastic grow/shrink, spot-instance
+  revocation storms, leave-then-rejoin — against a *running* cluster.
+  Leaves reuse the fail-stop path; joins go through
+  ``SimulatedCluster.add_worker_now`` so the new blade heartbeats and
+  receives work immediately (§V: dynamically variable environments).
+
+A churn *leave* differs from a classic fault in its default blast
+radius: spot revocation takes the compute away but is not a disk
+failure, so ``kill_datanode`` defaults to ``False`` here (replicas
+survive; only attempts are lost) while :class:`FaultPlan` keeps the
+destructive default.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Generator, Optional
+from typing import TYPE_CHECKING, Generator, Iterable, Optional, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.simexec import SimulatedCluster
     from repro.hadoop.jobtracker import JobTracker
     from repro.hadoop.tasktracker import TaskTracker
     from repro.hdfs.namenode import NameNode
     from repro.sim.engine import Environment
 
-__all__ = ["FaultPlan", "kill_node_at"]
+__all__ = [
+    "ChurnEvent",
+    "ChurnPlan",
+    "FaultPlan",
+    "apply_churn",
+    "kill_node_at",
+]
 
 
 @dataclass(frozen=True)
@@ -51,3 +73,179 @@ def kill_node_at(
             namenode.handle_datanode_failure(plan.node_id)
 
     return env.process(_inject(), name=f"fault-{plan.node_id}")
+
+
+# --------------------------------------------------------------------------- #
+# Membership churn                                                             #
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One membership change at a simulation time.
+
+    ``action`` is ``"join"`` (a fresh blade enters; ``node_id`` is
+    ignored — ids are assigned by the cluster, never reused) or
+    ``"leave"`` (a blade is revoked). A leave with ``node_id=None``
+    takes the *youngest live* worker at event time — the natural victim
+    order for spot revocation, and the only way a parse-time plan can
+    name nodes it has not seen joined yet.
+    """
+
+    at_time: float
+    action: str
+    node_id: Optional[int] = None
+    kill_datanode: bool = False
+    accelerated: bool = True
+
+    def __post_init__(self) -> None:
+        if self.action not in ("join", "leave"):
+            raise ValueError(f"unknown churn action {self.action!r}")
+        if self.at_time < 0:
+            raise ValueError("churn events cannot be scheduled in the past")
+
+
+@dataclass(frozen=True)
+class ChurnPlan:
+    """A scripted membership timeline: an ordered set of churn events.
+
+    Events fire in ``(at_time, declaration order)`` — simultaneous
+    events are applied in the order written, so a plan can deterministically
+    express "replace node 3 at t=40" as a leave followed by a join.
+    """
+
+    events: tuple[ChurnEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    # -- canned shapes -------------------------------------------------------
+    @classmethod
+    def spot_storm(
+        cls,
+        node_ids: Sequence[int],
+        at_time: float,
+        window_s: float = 0.0,
+        replace_after_s: Optional[float] = None,
+        kill_datanode: bool = False,
+    ) -> "ChurnPlan":
+        """A spot-revocation storm: the given nodes leave, spread evenly
+        across ``[at_time, at_time + window_s]``. When ``replace_after_s``
+        is set, one replacement blade joins that long after each
+        revocation (the autoscaler winning the capacity back)."""
+        ids = list(node_ids)
+        if not ids:
+            return cls()
+        step = window_s / max(1, len(ids) - 1) if window_s > 0 else 0.0
+        events: list[ChurnEvent] = []
+        for i, node_id in enumerate(ids):
+            t = at_time + i * step
+            events.append(
+                ChurnEvent(t, "leave", node_id, kill_datanode=kill_datanode)
+            )
+            if replace_after_s is not None:
+                events.append(ChurnEvent(t + replace_after_s, "join"))
+        return cls(tuple(events))
+
+    @classmethod
+    def elastic(
+        cls,
+        joins: Sequence[float] = (),
+        leaves: Sequence[tuple[float, Optional[int]]] = (),
+        kill_datanode: bool = False,
+    ) -> "ChurnPlan":
+        """Free-form grow/shrink: ``joins`` are join times, ``leaves``
+        are ``(time, node_id)`` pairs (``node_id=None`` → youngest live
+        worker at that moment)."""
+        events = [ChurnEvent(t, "join") for t in joins]
+        events += [
+            ChurnEvent(t, "leave", node_id, kill_datanode=kill_datanode)
+            for t, node_id in leaves
+        ]
+        return cls(tuple(events))
+
+    @classmethod
+    def parse(cls, specs: Iterable[str]) -> "ChurnPlan":
+        """Build a plan from CLI specs (repeatable ``--churn`` values):
+
+        - ``join@T`` — one blade joins at time ``T``
+        - ``leave@T`` / ``leave@T:NODE`` — a blade leaves at ``T``
+          (youngest live worker when ``NODE`` is omitted)
+        - ``storm@T:K`` / ``storm@T:K/W`` — ``K`` youngest-live blades
+          revoked starting at ``T``, spread over window ``W`` seconds
+        """
+        events: list[ChurnEvent] = []
+        for spec in specs:
+            try:
+                action, _, rest = spec.partition("@")
+                if action == "join":
+                    events.append(ChurnEvent(float(rest), "join"))
+                elif action == "leave":
+                    t_str, _, node_str = rest.partition(":")
+                    node = int(node_str) if node_str else None
+                    events.append(ChurnEvent(float(t_str), "leave", node))
+                elif action == "storm":
+                    t_str, _, k_str = rest.partition(":")
+                    k_str, _, w_str = k_str.partition("/")
+                    at, count = float(t_str), int(k_str)
+                    window = float(w_str) if w_str else 0.0
+                    if count <= 0:
+                        raise ValueError("storm size must be positive")
+                    step = window / max(1, count - 1) if window > 0 else 0.0
+                    events += [
+                        ChurnEvent(at + i * step, "leave", None)
+                        for i in range(count)
+                    ]
+                else:
+                    raise ValueError(f"unknown churn action {action!r}")
+            except (TypeError, ValueError) as exc:
+                raise ValueError(
+                    f"bad churn spec {spec!r} (want join@T, leave@T[:NODE], "
+                    f"or storm@T:K[/W]): {exc}"
+                ) from None
+        return cls(tuple(events))
+
+
+def _youngest_live(sim: "SimulatedCluster") -> Optional[int]:
+    """Highest-id worker still heartbeating, or None if the storm has
+    already taken everyone (node ids are assigned in join order and
+    never reused, so highest id == most recently joined)."""
+    live = [t.tracker_id for t in sim.trackers if t.alive]
+    return max(live) if live else None
+
+
+def apply_churn(env: "Environment", sim: "SimulatedCluster", plan: ChurnPlan):
+    """Schedule ``plan`` against a running cluster; returns the driver
+    process (joinable).
+
+    Events are applied in ``(at_time, declaration order)``. A leave
+    naming a node that is already dead — or a youngest-live leave when
+    nothing is left alive — is a no-op rather than an error: revocation
+    storms legitimately race fault injection and each other.
+    """
+    ordered = sorted(enumerate(plan.events), key=lambda p: (p[1].at_time, p[0]))
+
+    def _drive() -> Generator:
+        for _, ev in ordered:
+            delay = ev.at_time - env.now
+            if delay > 0:
+                yield env.timeout(delay)
+            if ev.action == "join":
+                sim.add_worker_now(accelerated=ev.accelerated)
+                continue
+            node_id = ev.node_id
+            if node_id is None:
+                node_id = _youngest_live(sim)
+            if node_id is None:
+                continue
+            tracker = next(
+                (t for t in sim.trackers if t.tracker_id == node_id), None
+            )
+            if tracker is None or not tracker.alive:
+                continue
+            sim.decommission(node_id, kill_datanode=ev.kill_datanode)
+
+    return env.process(_drive(), name="churn-driver")

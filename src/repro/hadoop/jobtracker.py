@@ -29,7 +29,7 @@ pre-refactor inline logic decision for decision.
 from __future__ import annotations
 
 from heapq import heappop, heappush
-from typing import TYPE_CHECKING, Any, Generator, Union
+from typing import TYPE_CHECKING, Any, Generator, Optional, Union
 
 import repro.modelmode as modelmode
 from repro.hadoop.config import JobConf
@@ -43,7 +43,13 @@ from repro.hadoop.messages import (
     TaskFailed,
 )
 from repro.hadoop.split import InputFormat
-from repro.sched.base import Scheduler, SchedulerError, TaskChoice, resolve_scheduler
+from repro.sched.base import (
+    PreemptChoice,
+    Scheduler,
+    SchedulerError,
+    TaskChoice,
+    resolve_scheduler,
+)
 from repro.sched.view import ClusterView
 from repro.sim.resources import Store
 
@@ -160,6 +166,7 @@ class JobTracker:
             "assignments": 0,
             "speculative_assignments": 0,
             "kills_issued": 0,
+            "preemptions": 0,
         }
         #: Heartbeats served per main-loop pass → pass count. Batch
         #: sizes above 1 mean several exchanges landed on the same
@@ -177,7 +184,14 @@ class JobTracker:
             self._expiry,
             (self.env.now + self.calib.heartbeat_timeout_s, tracker.tracker_id),
         )
+        # Runtime joiners (elastic membership) must be reachable for the
+        # reduce shuffle's node lookup; construction-time trackers are
+        # already present, so this is a no-op for them.
+        self.cluster_nodes[tracker.node.node_id] = tracker.node
         self._membership_epoch += 1
+        self.scheduler.on_membership_change(
+            self._view, joined=(tracker.tracker_id,)
+        )
 
     @property
     def live_trackers(self) -> list[int]:
@@ -378,8 +392,11 @@ class JobTracker:
         """
         self._last_seen[hb.tracker_id] = self.env.now
         self._decisions["heartbeats"] += 1
-        kills = tuple(self._kill_queue.pop(hb.tracker_id, ()))
         choices = self.scheduler.assign(self._view, hb)
+        preempts: Optional[list[PreemptChoice]] = None
+        if any(type(c) is PreemptChoice for c in choices):
+            preempts = [c for c in choices if type(c) is PreemptChoice]
+            choices = [c for c in choices if type(c) is not PreemptChoice]
         maps = sum(1 for c in choices if c.kind is TaskKind.MAP)
         if maps > hb.free_map_slots or len(choices) - maps > hb.free_reduce_slots:
             raise SchedulerError(
@@ -387,10 +404,98 @@ class JobTracker:
                 f"tracker's free slots ({hb.free_map_slots} map, "
                 f"{hb.free_reduce_slots} reduce)"
             )
+        if preempts:
+            # Preemptions first: a preempted task is requeued *before*
+            # launches apply, so a policy that both preempts a task and
+            # (buggily) speculates it in the same batch fails loudly in
+            # ``_apply_choice`` instead of corrupting state.
+            for preempt in preempts:
+                self._apply_preempt(preempt)
         assignments = tuple(
             self._apply_choice(choice, hb.tracker_id) for choice in choices
         )
+        # The kill queue drains after the apply steps so a preemption
+        # aimed at the heartbeating tracker itself rides this very
+        # reply. Nothing between the old pop site and here reads the
+        # queue, so non-preempting policies are unaffected.
+        kills = tuple(self._kill_queue.pop(hb.tracker_id, ()))
         return AssignmentReply(assignments=assignments, kills=kills)
+
+    def _apply_preempt(self, choice: PreemptChoice) -> None:
+        """Validate one preemption decision and issue the kill.
+
+        Killed attempts die silently (the tracker swallows the interrupt
+        and reports nothing — same path as speculation cleanup), so all
+        bookkeeping retires here, at issue time. The task re-enters its
+        pending queue exactly once: only when the preempted attempt was
+        the last one live. ``task.attempts`` is *not* rolled back — a
+        preemption is not a failure, and the attempt counter must keep
+        producing unique attempt ids — and preemptions never count
+        against ``max_attempts`` (only ``TaskFailed`` does).
+        """
+        job = self._jobs.get(choice.job_id)
+        if job is None or job.state is not JobState.RUNNING:
+            raise SchedulerError(
+                f"{self.scheduler.name}: preempt target in non-running job "
+                f"{choice.job_id}"
+            )
+        table = job.maps if choice.kind is TaskKind.MAP else job.reduces
+        task = table.get(choice.task_id)
+        if task is None or task.state != "running":
+            raise SchedulerError(
+                f"{self.scheduler.name}: preempt target {choice.kind.value} "
+                f"task {choice.task_id} of job {choice.job_id} is not running"
+            )
+        key = (choice.job_id, choice.kind, choice.task_id)
+        attempts = self._running_attempts.get(key, [])
+        victims = [
+            a for a in attempts
+            if a[0] == choice.tracker_id and a[1] == choice.attempt
+        ]
+        if not victims:
+            raise SchedulerError(
+                f"{self.scheduler.name}: preempt target attempt "
+                f"{choice.attempt} of {choice.kind.value} task "
+                f"{choice.task_id} (job {choice.job_id}) is not live on "
+                f"tracker {choice.tracker_id}"
+            )
+        remaining = [a for a in attempts if a not in victims]
+        self._running_attempts[key] = remaining
+        self._note_attempts_gone(choice.job_id, len(victims))
+        self._note_tracker_attempts_gone(victims)
+        self._kill_queue.setdefault(choice.tracker_id, []).append(
+            KillDirective(choice.job_id, choice.kind, choice.task_id, choice.attempt)
+        )
+        self._decisions["kills_issued"] += 1
+        self._decisions["preemptions"] += 1
+        job.bump("preempted_attempts")
+        if self.event_thin:
+            target = self._trackers.get(choice.tracker_id)
+            if target is not None:
+                target.poke(dirty=True, urgent=True)
+        if not remaining:
+            task.state = "pending"
+            pending = (
+                self._pending_maps
+                if choice.kind is TaskKind.MAP
+                else self._pending_reduces
+            ).setdefault(choice.job_id, [])
+            if choice.task_id not in pending:
+                pending.append(choice.task_id)
+                if choice.kind is TaskKind.MAP:
+                    self._queue_unsorted.add(choice.job_id)
+                self._bump_queue(choice.job_id)
+                self._poke_trackers()
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "jobtracker",
+                "task_preempted",
+                job=choice.job_id,
+                kind=choice.kind.value,
+                task=choice.task_id,
+                tracker=choice.tracker_id,
+                attempt=choice.attempt,
+            )
 
     def _apply_choice(self, choice: TaskChoice, tracker_id: int) -> Assignment:
         """Validate one policy decision and turn it into a wire Assignment."""
@@ -691,7 +796,12 @@ class JobTracker:
         """
         self._trackers.pop(tracker_id, None)
         self._last_seen.pop(tracker_id, None)
+        # Undelivered kills for a dead tracker would sit forever (its
+        # heartbeats are the only drain); node ids are never reused, so
+        # the entry is garbage the moment the tracker is gone.
+        self._kill_queue.pop(tracker_id, None)
         self._membership_epoch += 1
+        self.scheduler.on_membership_change(self._view, lost=(tracker_id,))
         if self.tracer.enabled:
             self.tracer.emit("jobtracker", "tracker_lost", tracker=tracker_id)
         # Running attempts: walk the table only if the tracker owed any

@@ -14,8 +14,15 @@ Builtin policies (``repro schedulers`` lists them):
   inline JobTracker logic (the policy behind every paper figure).
 - ``fair`` — :class:`~repro.sched.fair.FairScheduler`: weighted fair
   sharing across concurrent jobs.
+- ``fair_preempt`` — :class:`~repro.sched.fair.PreemptiveFairScheduler`:
+  fair sharing that additionally kills-and-requeues over-share attempts
+  (bounded per exchange) so share bounds hold under hard contention.
 - ``locality`` — :class:`~repro.sched.locality.LocalityAwareScheduler`:
   delay scheduling on HDFS block locality.
+- ``locality_reduce`` —
+  :class:`~repro.sched.locality.ShuffleAwareLocalityScheduler`: delay
+  scheduling plus shuffle-locality reduce placement (reduces prefer the
+  node holding the most map output).
 - ``accel`` — :class:`~repro.sched.accel.AcceleratorAwareScheduler`:
   kernel-affinity placement against Cell/GPU/CPU slot speeds (the
   paper's implicit policy, made explicit).
@@ -29,6 +36,7 @@ for the policy contract and how to add one.
 from repro.sched.accel import AcceleratorAwareScheduler
 from repro.sched.base import (
     AssignmentBatch,
+    PreemptChoice,
     Scheduler,
     SchedulerError,
     TaskChoice,
@@ -36,9 +44,12 @@ from repro.sched.base import (
     resolve_scheduler,
     scheduler_names,
 )
-from repro.sched.fair import FairScheduler
+from repro.sched.fair import FairScheduler, PreemptiveFairScheduler
 from repro.sched.fifo import FifoScheduler
-from repro.sched.locality import LocalityAwareScheduler
+from repro.sched.locality import (
+    LocalityAwareScheduler,
+    ShuffleAwareLocalityScheduler,
+)
 from repro.sched.view import (
     AttemptView,
     ClusterView,
@@ -57,8 +68,11 @@ __all__ = [
     "FifoScheduler",
     "JobView",
     "LocalityAwareScheduler",
+    "PreemptChoice",
+    "PreemptiveFairScheduler",
     "Scheduler",
     "SchedulerError",
+    "ShuffleAwareLocalityScheduler",
     "SyntheticJob",
     "SyntheticView",
     "TaskChoice",

@@ -38,6 +38,7 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = [
     "AssignmentBatch",
+    "PreemptChoice",
     "Scheduler",
     "SchedulerError",
     "TaskChoice",
@@ -66,6 +67,25 @@ class TaskChoice:
     kind: TaskKind
     task_id: int
     speculative: bool = False
+
+
+@dataclass(frozen=True)
+class PreemptChoice:
+    """One policy decision: kill this running attempt and requeue its task.
+
+    Unlike :class:`TaskChoice`, a preemption names a *specific attempt*
+    (tracker + attempt number), because a speculated task can be running
+    in two places and the policy chooses which copy dies. The JobTracker
+    issues the kill on the victim tracker's next exchange, retires the
+    attempt's accounting immediately, and re-enqueues the task exactly
+    once — only when no other attempt of it remains live.
+    """
+
+    job_id: int
+    kind: TaskKind
+    task_id: int
+    tracker_id: int
+    attempt: int
 
 
 class AssignmentBatch:
@@ -289,6 +309,29 @@ class Scheduler(ABC):
         honorable (pending, or a valid speculation target). The
         JobTracker validates and raises :class:`SchedulerError` on
         violations.
+
+        A preempting policy may interleave :class:`PreemptChoice`
+        entries in the returned list; each must name a live attempt
+        (visible through ``JobView.running_map_attempts``) or the
+        JobTracker raises :class:`SchedulerError` at apply time.
+        Preemptions do not count against the slot budget — they *free*
+        slots on another tracker.
+        """
+
+    def on_membership_change(
+        self,
+        view: "ClusterView",
+        joined: Sequence[int] = (),
+        lost: Sequence[int] = (),
+    ) -> None:
+        """Membership-change notification (elastic clusters, node loss).
+
+        Called by the JobTracker after a tracker registers at runtime or
+        is declared lost, *after* ``_membership_epoch`` was bumped — so
+        ``view`` already reflects the new membership. Policies use this
+        to drop state keyed on departed trackers or to re-arm
+        locality/affinity patience; the default is a no-op. Must not
+        mutate anything reachable through the view.
         """
 
     def describe(self) -> str:

@@ -7,15 +7,27 @@ weights an N-job workload converges to ~1/N of the cluster each; with
 weights it converges to the weighted shares (the bound the property
 tests assert). Within the chosen job, picks stay locality-first and
 speculation keeps the stock straggler criteria.
+
+``fair`` itself never kills anything: a job that grabbed the whole
+cluster before a competitor arrived keeps its slots until tasks finish
+naturally, so under long map tasks the share bounds only hold
+*eventually*. ``fair_preempt`` closes that gap — after granting free
+slots it compares each job's live attempts against its weighted share
+of the map-slot pool and, when a starved job has pending work it
+cannot place, kills a bounded number of the most-over-share job's
+youngest map attempts per exchange (least work lost, Fair Scheduler
+style). The JobTracker requeues each preempted task exactly once.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+import math
+from typing import TYPE_CHECKING, Optional, Union
 
 from repro.hadoop.job import TaskKind
 from repro.sched.base import (
     AssignmentBatch,
+    PreemptChoice,
     Scheduler,
     TaskChoice,
     pick_pending_map,
@@ -28,7 +40,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.hadoop.messages import Heartbeat
     from repro.sched.view import ClusterView, JobView
 
-__all__ = ["FairScheduler"]
+__all__ = ["FairScheduler", "PreemptiveFairScheduler"]
 
 
 @register_scheduler
@@ -37,7 +49,25 @@ class FairScheduler(Scheduler):
 
     name = "fair"
 
-    def assign(self, view: "ClusterView", hb: "Heartbeat") -> list[TaskChoice]:
+    #: Preemption is off in the base policy (pre-existing behaviour,
+    #: byte-identical); ``fair_preempt`` flips it on. Class attributes so
+    #: subclasses and tests re-tune without touching ``__init__``.
+    preemption: bool = False
+    #: At most this many kills per heartbeat exchange — reclamation is
+    #: deliberately gradual so one arrival cannot flush a whole wave of
+    #: nearly-finished work.
+    max_preempts_per_exchange: int = 1
+    #: A job must stay starved this long (sim-seconds, continuously)
+    #: before its deficit triggers kills. Transient starvation — a map
+    #: finished elsewhere and the freed slot's heartbeat is still in
+    #: flight — resolves by granting within a heartbeat period; only
+    #: starvation that outlives the grace window means the cluster is
+    #: genuinely packed and work must be reclaimed.
+    preemption_grace_s: float = 5.0
+
+    def assign(
+        self, view: "ClusterView", hb: "Heartbeat"
+    ) -> list[Union[TaskChoice, PreemptChoice]]:
         batch = AssignmentBatch()
         jobs = view.jobs()
         now = view.now
@@ -47,13 +77,116 @@ class FairScheduler(Scheduler):
         for _ in range(hb.free_reduce_slots):
             if not self._grant_reduce_slot(jobs, batch):
                 break
+        if self.preemption and len(jobs) > 1:
+            preempts = self._preempt_for_fairness(view, jobs, batch)
+            if preempts:
+                return batch.choices + preempts
         return batch.choices
+
+    # -- preemption: reclaim slots when grants alone cannot converge ---------
+    def _preempt_for_fairness(
+        self,
+        view: "ClusterView",
+        jobs: list["JobView"],
+        batch: AssignmentBatch,
+    ) -> list[PreemptChoice]:
+        """Bounded kill list restoring weighted shares under contention.
+
+        A job is *starved* when it has pending maps it could not place
+        and runs below ``floor(share)``; a job is a *victim* while it
+        runs above ``floor(share)``. Kills fire only while some job is
+        starved, and a victim is never taken below its own floor — so a
+        kill can never create a new starved job and the policy is
+        quiescent once every claimant sits at or above its floor (no
+        oscillation). The floor (not ceil) bound matters on small
+        clusters: with many light jobs ``ceil(share)`` rounds every
+        sliver of entitlement up to a whole slot and no victim ever
+        exists, deadlocking a heavy late arrival out of its share.
+        Victims lose their youngest map attempts first (least completed
+        work thrown away).
+        """
+        total_slots = view.total_map_slots
+        total_weight = sum(j.weight for j in jobs)
+        if total_slots <= 0 or total_weight <= 0:
+            return []
+        shares = {
+            j.job_id: total_slots * j.weight / total_weight for j in jobs
+        }
+        starved_since = getattr(self, "_starved_since", None)
+        if starved_since is None:
+            starved_since = self._starved_since = {}
+        now = view.now
+        live = set()
+        deficit = 0
+        for job in jobs:
+            live.add(job.job_id)
+            want = math.floor(shares[job.job_id]) - batch.running_count(job)
+            if want > 0 and job.pending_maps:
+                since = starved_since.setdefault(job.job_id, now)
+                if now - since >= self.preemption_grace_s:
+                    deficit += min(want, len(job.pending_maps))
+            else:
+                starved_since.pop(job.job_id, None)
+        for job_id in [j for j in starved_since if j not in live]:
+            del starved_since[job_id]
+        if deficit <= 0:
+            return []
+        budget = min(self.max_preempts_per_exchange, deficit)
+        preempts: list[PreemptChoice] = []
+        # Most-over-share victims first: smallest (share - running) gap.
+        for job in sorted(
+            jobs,
+            key=lambda j: (shares[j.job_id] - batch.running_count(j), j.job_id),
+        ):
+            if budget <= 0:
+                break
+            excess = batch.running_count(job) - math.floor(shares[job.job_id])
+            if excess <= 0:
+                continue
+            taken = batch.taken_maps(job.job_id)
+            candidates = []
+            for task_id, attempts in job.running_map_attempts():
+                if task_id in taken:
+                    continue  # this batch just speculated it; leave it be
+                for a in attempts:
+                    candidates.append((task_id, a))
+            # Youngest attempt first; ties broken toward later tasks.
+            candidates.sort(
+                key=lambda c: (-c[1].start_time, -c[0], -c[1].attempt)
+            )
+            for task_id, a in candidates[: min(budget, excess)]:
+                preempts.append(
+                    PreemptChoice(
+                        job.job_id, TaskKind.MAP, task_id, a.tracker_id, a.attempt
+                    )
+                )
+                budget -= 1
+        if preempts:
+            # Restart every starved job's grace clock: the kills just
+            # issued free slots that arrive via the victims' next
+            # heartbeats, so the starved jobs will look unchanged for
+            # another exchange or two. Without the reset that lag reads
+            # as continued starvation and the policy over-kills well past
+            # the actual deficit.
+            for job_id in starved_since:
+                starved_since[job_id] = now
+            self._bump_counter("preempts_issued", len(preempts))
+        return preempts
 
     # -- one slot, one deficit-ordered grant --------------------------------
     @staticmethod
-    def _deficit(job: "JobView", batch: AssignmentBatch) -> tuple[float, int]:
-        """Sort key: load per unit weight, then submission order."""
-        return (batch.running_count(job) / job.weight, job.job_id)
+    def _deficit(
+        job: "JobView", batch: AssignmentBatch
+    ) -> tuple[float, float, int]:
+        """Sort key: load per unit weight, heaviest first on ties, then
+        submission order. The weight tiebreak is what makes preemption
+        coherent: a slot reclaimed for a starved heavy job must not be
+        re-granted to the light victim it was just taken from (both sit
+        at ratio 0 after the kill) — without it reclamation livelocks.
+        With uniform weights the tiebreak is inert, so the base policy's
+        decisions are unchanged.
+        """
+        return (batch.running_count(job) / job.weight, -job.weight, job.job_id)
 
     def _grant_map_slot(
         self,
@@ -84,3 +217,17 @@ class FairScheduler(Scheduler):
                 batch.add(TaskChoice(job.job_id, TaskKind.REDUCE, task_id))
                 return True
         return False
+
+
+@register_scheduler
+class PreemptiveFairScheduler(FairScheduler):
+    """Fair sharing that reclaims slots under hard contention."""
+
+    name = "fair_preempt"
+    preemption = True
+
+    def __init__(self, max_preempts_per_exchange: Optional[int] = None):
+        if max_preempts_per_exchange is not None:
+            self.max_preempts_per_exchange = max(
+                1, int(max_preempts_per_exchange)
+            )

@@ -8,11 +8,21 @@ whose head tasks are all remote to the heartbeating tracker skips its
 turn for a bounded number of heartbeats, betting that a slot on one of
 its data's home nodes frees up first. Unconstrained tasks (compute-
 driven jobs with no splits) are "local everywhere" and never wait.
+
+``locality_reduce`` extends the same bet to the shuffle: reduces prefer
+the tracker holding the most of the job's completed map output (the
+largest co-located shuffle source), declining mismatched offers under
+the same bounded patience. The base ``locality`` policy leaves reduce
+placement untouched (byte-identical to its pre-affinity behaviour).
+
+Both react to membership change (:meth:`on_membership_change`): a node
+joining or leaving redraws the odds every accumulated skip was betting
+on, so all patience counters reset.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.hadoop.job import TaskKind
 from repro.sched.base import (
@@ -20,6 +30,7 @@ from repro.sched.base import (
     Scheduler,
     TaskChoice,
     fill_job_reduce_slots,
+    pick_pending_reduce,
     pick_speculative_map,
     register_scheduler,
 )
@@ -28,7 +39,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.hadoop.messages import Heartbeat
     from repro.sched.view import ClusterView, JobView
 
-__all__ = ["LocalityAwareScheduler"]
+__all__ = ["LocalityAwareScheduler", "ShuffleAwareLocalityScheduler"]
 
 
 @register_scheduler
@@ -45,9 +56,27 @@ class LocalityAwareScheduler(Scheduler):
 
     name = "locality"
 
+    #: ``locality_reduce`` flips this on; the base policy keeps stock
+    #: reduce placement so existing series stay byte-identical.
+    reduce_affinity: bool = False
+
     def __init__(self, max_skips: Optional[int] = None):
         self.max_skips = max_skips
         self._skips: dict[int, int] = {}
+        self._reduce_skips: dict[int, int] = {}
+
+    def on_membership_change(
+        self,
+        view: "ClusterView",
+        joined: Sequence[int] = (),
+        lost: Sequence[int] = (),
+    ) -> None:
+        """Reset delay patience: accumulated skips were bets on slots
+        freeing up under the *old* membership. A joiner brings fresh
+        (possibly local) slots worth waiting for again; a loss may have
+        taken the very node being waited on."""
+        self._skips.clear()
+        self._reduce_skips.clear()
 
     def assign(self, view: "ClusterView", hb: "Heartbeat") -> list[TaskChoice]:
         batch = AssignmentBatch()
@@ -62,6 +91,7 @@ class LocalityAwareScheduler(Scheduler):
         free_maps = hb.free_map_slots
         free_reduces = hb.free_reduce_slots
         declined: set[int] = set()
+        declined_reduces: set[int] = set()
         for job in jobs:
             while free_maps > 0:
                 task_id, local = self._pick_map(job, hb.tracker_id, batch)
@@ -88,7 +118,15 @@ class LocalityAwareScheduler(Scheduler):
                     self._skips[job.job_id] = 0
                 free_maps -= 1
             if free_reduces > 0:
-                free_reduces -= fill_job_reduce_slots(job, batch, free_reduces)
+                if self.reduce_affinity:
+                    used, waited = self._fill_reduces_affinity(
+                        job, hb.tracker_id, batch, free_reduces, limit
+                    )
+                    free_reduces -= used
+                    if waited:
+                        declined_reduces.add(job.job_id)
+                else:
+                    free_reduces -= fill_job_reduce_slots(job, batch, free_reduces)
             if free_maps <= 0 and free_reduces <= 0:
                 break
         # One skip per declined job per heartbeat (not per slot), so the
@@ -97,7 +135,47 @@ class LocalityAwareScheduler(Scheduler):
             self._skips[jid] = self._skips.get(jid, 0) + 1
         if declined:
             self._bump_counter("delay_waits", len(declined))
+        for jid in declined_reduces:
+            self._reduce_skips[jid] = self._reduce_skips.get(jid, 0) + 1
+        if declined_reduces:
+            self._bump_counter("shuffle_affinity_waits", len(declined_reduces))
         return batch.choices
+
+    def _fill_reduces_affinity(
+        self,
+        job: "JobView",
+        tracker_id: int,
+        batch: AssignmentBatch,
+        free_reduces: int,
+        limit: int,
+    ) -> tuple[int, bool]:
+        """Shuffle-locality reduce placement with bounded patience.
+
+        A reduce offer from a tracker holding less of the job's map
+        output than the best-stocked node is declined until the job has
+        burned ``limit`` reduce skips — then any offer is taken (same
+        progress guarantee as the map-side delay). Placement on a
+        best-stocked node re-arms the patience. Returns
+        ``(slots_used, declined_this_heartbeat)``.
+        """
+        if not job.maps_all_done or not job.pending_reduces:
+            return 0, False
+        outputs = job.map_output_nodes()
+        best = max(outputs.values()) if outputs else 0
+        here = outputs.get(tracker_id, 0)
+        if outputs and here < best:
+            if self._reduce_skips.get(job.job_id, 0) < limit:
+                return 0, True
+        used = 0
+        while used < free_reduces:
+            task_id = pick_pending_reduce(job, batch)
+            if task_id is None:
+                break
+            batch.add(TaskChoice(job.job_id, TaskKind.REDUCE, task_id))
+            used += 1
+        if used and (not outputs or here >= best):
+            self._reduce_skips[job.job_id] = 0
+        return used, False
 
     @staticmethod
     def _pick_map(
@@ -152,3 +230,11 @@ class LocalityAwareScheduler(Scheduler):
             if not preferred or tracker_id in preferred:
                 return task_id, True
         return head, False
+
+
+@register_scheduler
+class ShuffleAwareLocalityScheduler(LocalityAwareScheduler):
+    """Delay scheduling plus shuffle-locality reduce placement."""
+
+    name = "locality_reduce"
+    reduce_affinity = True

@@ -311,6 +311,20 @@ class JobView:
             raw = self._jt._running_attempts.get((jid, TaskKind.MAP, task.task_id), ())
             yield task.task_id, [AttemptView(*a) for a in raw]
 
+    def map_output_nodes(self) -> dict[int, int]:
+        """``node_id → completed map outputs of this job held there`` —
+        the shuffle source mass reduce-affinity placement ranks nodes
+        by. Not cached: only consulted while reduces are pending, a
+        window in which the underlying index changes on every map
+        completion anyway."""
+        jid = self._job.job_id
+        out: dict[int, int] = {}
+        for node, keys in self._jt.map_outputs.by_node.items():
+            held = sum(1 for k in keys if k[0] == jid)
+            if held:
+                out[node] = held
+        return out
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<JobView {self.job_id} {self.name!r} pending={len(self.pending_maps)}>"
 
@@ -456,6 +470,7 @@ class SyntheticJob:
         map_states: Optional[dict[int, str]] = None,
         done_durations: Sequence[float] = (),
         running_attempts: Optional[dict[int, list[AttemptView]]] = None,
+        map_output_nodes: Optional[dict[int, int]] = None,
     ):
         from repro.perf.calibration import Backend
 
@@ -477,6 +492,7 @@ class SyntheticJob:
         self._map_states = dict(map_states or {})
         self._done_durations = list(done_durations)
         self._running_attempts = dict(running_attempts or {})
+        self._map_output_nodes = dict(map_output_nodes or {})
 
     @property
     def preferred_lookup(self) -> dict[int, tuple[int, ...]]:
@@ -522,6 +538,9 @@ class SyntheticJob:
         for task_id in sorted(self._running_attempts):
             yield task_id, list(self._running_attempts[task_id])
 
+    def map_output_nodes(self) -> dict[int, int]:
+        return dict(self._map_output_nodes)
+
 
 class SyntheticView:
     """A hand-built stand-in for :class:`ClusterView` (policy unit tests).
@@ -537,6 +556,7 @@ class SyntheticView:
         trackers: Sequence[TrackerView],
         now: float = 0.0,
         calib=None,
+        membership_epoch: int = 0,
     ):
         from repro.perf.calibration import PAPER_CALIBRATION
 
@@ -544,6 +564,7 @@ class SyntheticView:
         self._trackers = {t.tracker_id: t for t in trackers}
         self.now = now
         self.calib = calib if calib is not None else PAPER_CALIBRATION
+        self.membership_epoch = membership_epoch
 
     def jobs(self) -> list[JobView]:
         return list(self._jobs)

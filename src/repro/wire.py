@@ -17,11 +17,44 @@ from __future__ import annotations
 import json
 from typing import Any, Iterator, Mapping, Union
 
-__all__ = ["ProtocolError", "decode", "encode", "read_events", "recv_msg", "send_msg"]
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "decode",
+    "encode",
+    "read_events",
+    "recv_msg",
+    "send_msg",
+]
+
+#: Upper bound on one frame (one line, terminator included). Reads are
+#: bounded to this, so a corrupt or malicious peer streaming bytes with
+#: no newline cannot balloon the receiver's memory — ``readline()``
+#: without a limit buffers the whole flood. 8 MiB is orders of
+#: magnitude above any real payload (full sweep results are tens of
+#: KB) while still an instant, bounded read.
+MAX_FRAME_BYTES = 8 * 1024 * 1024
 
 
 class ProtocolError(ValueError):
     """Malformed frames or structurally invalid requests."""
+
+
+def _read_bounded(stream) -> Union[bytes, str]:
+    """One ``readline`` capped at the frame bound. Returns the raw line
+    (empty at EOF); raises :class:`ProtocolError` when the peer sent
+    more than :data:`MAX_FRAME_BYTES` without a newline."""
+    line = stream.readline(MAX_FRAME_BYTES + 1)
+    if len(line) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"oversized frame: peer sent more than {MAX_FRAME_BYTES} bytes "
+            f"without a line terminator"
+        )
+    return line
+
+
+def _has_terminator(line: Union[bytes, str]) -> bool:
+    return line.endswith(b"\n" if isinstance(line, bytes) else "\n")
 
 
 def encode(msg: Mapping[str, Any]) -> bytes:
@@ -45,8 +78,16 @@ def decode(line: Union[bytes, str]) -> dict[str, Any]:
 
 
 def read_events(stream) -> Iterator[dict[str, Any]]:
-    """Decode response lines from a binary file-like until EOF."""
-    for line in stream:
+    """Decode response lines from a binary file-like until EOF.
+
+    Reads are bounded per frame (:data:`MAX_FRAME_BYTES`). A final line
+    without a terminator is still decoded — event streams legitimately
+    end at EOF — but an over-long line raises :class:`ProtocolError`.
+    """
+    while True:
+        line = _read_bounded(stream)
+        if not line:
+            return
         if line.strip():
             yield decode(line)
 
@@ -59,8 +100,18 @@ def send_msg(stream, msg: Mapping[str, Any]) -> None:
 
 def recv_msg(stream) -> dict[str, Any]:
     """Read exactly one frame; EOF mid-conversation is a protocol error
-    (the peer hung up without a terminal message)."""
-    line = stream.readline()
+    (the peer hung up without a terminal message).
+
+    The read is bounded (:data:`MAX_FRAME_BYTES`) and the frame must be
+    newline-terminated: a line that ends at EOF instead is a *truncated*
+    frame — the peer died mid-write — and is rejected rather than
+    parsed, since a prefix of a JSON object can itself be valid JSON.
+    """
+    line = _read_bounded(stream)
     if not line:
         raise ProtocolError("connection closed by peer")
+    if not _has_terminator(line):
+        raise ProtocolError(
+            "truncated frame: connection closed mid-line"
+        )
     return decode(line)

@@ -1,0 +1,73 @@
+"""Frame-size and malformed-frame guards on the shared wire format.
+
+The framing itself (encode/decode round-trips, non-object rejection)
+is pinned by the serve protocol tests; this file pins the *bounds*:
+reads are capped at ``MAX_FRAME_BYTES``, and a frame that ends at EOF
+instead of a newline is rejected as truncated rather than parsed —
+a prefix of a JSON document can itself be valid JSON.
+"""
+
+import io
+
+import pytest
+
+from repro import wire
+
+
+def test_recv_msg_roundtrip():
+    buf = io.BytesIO()
+    wire.send_msg(buf, {"verb": "hello", "x": 1.25})
+    buf.seek(0)
+    assert wire.recv_msg(buf) == {"verb": "hello", "x": 1.25}
+
+
+def test_recv_msg_eof_is_peer_hangup():
+    with pytest.raises(wire.ProtocolError, match="closed by peer"):
+        wire.recv_msg(io.BytesIO(b""))
+
+
+def test_recv_msg_rejects_truncated_frame():
+    # b"123" is valid JSON, which is exactly why an unterminated line
+    # must not be parsed: it could be the prefix of b"12345\n".
+    with pytest.raises(wire.ProtocolError, match="truncated"):
+        wire.recv_msg(io.BytesIO(b"123"))
+    with pytest.raises(wire.ProtocolError, match="truncated"):
+        wire.recv_msg(io.BytesIO(b'{"verb":"submit"}'))
+
+
+def test_recv_msg_rejects_oversized_frame(monkeypatch):
+    monkeypatch.setattr(wire, "MAX_FRAME_BYTES", 64)
+    flood = b"x" * 1000  # no newline anywhere: a peer streaming garbage
+    with pytest.raises(wire.ProtocolError, match="oversized"):
+        wire.recv_msg(io.BytesIO(flood))
+    # The read stopped at the bound instead of buffering the flood.
+    big = b'{"k":"' + b"v" * 200 + b'"}\n'
+    with pytest.raises(wire.ProtocolError, match="oversized"):
+        wire.recv_msg(io.BytesIO(big))
+
+
+def test_recv_msg_accepts_frame_at_the_bound(monkeypatch):
+    monkeypatch.setattr(wire, "MAX_FRAME_BYTES", 64)
+    msg = {"k": "v" * 55}
+    line = wire.encode(msg)
+    assert len(line) == 64  # newline included: exactly at the limit
+    assert wire.recv_msg(io.BytesIO(line)) == msg
+
+
+def test_read_events_tolerates_unterminated_final_line():
+    stream = io.BytesIO(b'{"event":"a"}\n{"event":"b"}')
+    assert [e["event"] for e in wire.read_events(stream)] == ["a", "b"]
+
+
+def test_read_events_rejects_oversized_line(monkeypatch):
+    monkeypatch.setattr(wire, "MAX_FRAME_BYTES", 64)
+    stream = io.BytesIO(b'{"event":"a"}\n' + b"y" * 1000 + b"\n")
+    events = wire.read_events(stream)
+    assert next(events)["event"] == "a"
+    with pytest.raises(wire.ProtocolError, match="oversized"):
+        next(events)
+
+
+def test_read_events_handles_text_streams():
+    stream = io.StringIO('{"event":"a"}\n\n{"event":"b"}\n')
+    assert [e["event"] for e in wire.read_events(stream)] == ["a", "b"]

@@ -1,0 +1,40 @@
+"""Reconnect backoff: capped, jittered, and overflow-proof.
+
+A worker that outlives a long coordinator outage keeps incrementing its
+attempt counter; the delay formula must stay bounded (and not raise)
+no matter how large that counter grows — ``2 ** attempt`` overflows
+float conversion past ~1000 doublings if evaluated before clamping.
+"""
+
+import pytest
+
+from repro.fabric.worker import FleetWorker
+from repro.serve.client import Address
+
+
+def _worker(rng):
+    return FleetWorker(Address(host="127.0.0.1", port=1), name="w", rng=rng)
+
+
+def test_backoff_grows_then_caps():
+    w = _worker(lambda: 0.5)  # jitter factor exactly 1.0
+    delays = [w._backoff_s(a) for a in range(8)]
+    assert delays[0] == pytest.approx(0.05)
+    assert delays == sorted(delays)
+    assert delays[-1] == pytest.approx(0.5)
+    # Once at the cap, further failures do not wait longer.
+    assert w._backoff_s(100) == pytest.approx(0.5)
+
+
+@pytest.mark.parametrize("attempt", [0, 5, 64, 2000, 10**6, 10**9])
+def test_backoff_is_finite_at_any_attempt(attempt):
+    w = _worker(lambda: 0.999)
+    delay = w._backoff_s(attempt)  # must not raise OverflowError
+    assert 0.0 < delay < 0.75  # 0.5 cap times the max jitter factor
+
+
+def test_backoff_jitter_spreads_the_fleet():
+    lo = _worker(lambda: 0.0)._backoff_s(50)
+    hi = _worker(lambda: 0.999)._backoff_s(50)
+    assert lo == pytest.approx(0.25)
+    assert hi > lo  # same attempt, different workers, different delays

@@ -45,7 +45,16 @@ CASES = {
     # `-m sweep` territory; this reduced weak-scaling slice still runs
     # every policy under multi-job contention.
     "scale": {"nodes": [16, 32], "num_jobs": 3},
+    # Elastic-membership families: churn plans and preemption are part
+    # of the byte-frozen contract like any other scheduler decision.
+    "elastic": {"nodes": [2, 4]},
+    "spot_storm": {"revoked": [0, 2]},
+    "sla_mix": {"nodes": [2, 4]},
 }
+
+#: The churn families exercise the membership paths end to end, so they
+#: are additionally pinned under the parallel sweep driver.
+ELASTIC_FIGS = ["elastic", "spot_storm", "sla_mix"]
 
 FIGS = sorted(CASES)
 
@@ -95,6 +104,14 @@ def test_golden_reference_engine(fig, reference_mode):
 def test_golden_fig8_parallel_driver(workers):
     """`repro sweep fig8 --workers N` is byte-identical for N=1,2,4."""
     _check_against_golden(run_sweep("fig8", CASES["fig8"], workers=workers))
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+@pytest.mark.parametrize("fig", ELASTIC_FIGS)
+def test_golden_elastic_families_parallel_driver(fig, workers):
+    """Churn/preemption scenarios are byte-identical at 1, 2, 4 workers:
+    worker count must never leak into the simulated timeline."""
+    _check_against_golden(run_sweep(fig, CASES[fig], workers=workers))
 
 
 @pytest.mark.parametrize("workers", [2])

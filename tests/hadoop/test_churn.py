@@ -1,0 +1,134 @@
+"""Elastic membership: churn plans, runtime joins, revocation recovery.
+
+The ChurnPlan surface is pure and pinned directly; the integration
+tests drive joins/leaves against a running cluster and assert the
+JobTracker's membership machinery — runtime registration, loss
+detection, the scheduler hook — from the outside.
+"""
+
+import pytest
+
+from repro.core.simexec import SimulatedCluster, run_workload_mix
+from repro.hadoop import ChurnEvent, ChurnPlan, JobConf, apply_churn
+from repro.perf.calibration import Backend
+from repro.sched.fair import FairScheduler
+
+
+def long_pi(samples=1e11, maps=16, name="churny"):
+    return JobConf(name=name, workload="pi",
+                   backend=Backend.CELL_SPE_DIRECT,
+                   samples=samples, num_map_tasks=maps, num_reduce_tasks=1)
+
+
+# -- plan construction -------------------------------------------------------
+
+def test_churn_event_validation():
+    with pytest.raises(ValueError, match="unknown churn action"):
+        ChurnEvent(1.0, "explode")
+    with pytest.raises(ValueError, match="past"):
+        ChurnEvent(-1.0, "join")
+
+
+def test_parse_specs():
+    plan = ChurnPlan.parse(["join@20", "leave@60:3", "storm@30:2/10"])
+    actions = [(e.action, e.at_time, e.node_id) for e in plan.events]
+    assert actions == [
+        ("join", 20.0, None),
+        ("leave", 60.0, 3),
+        ("leave", 30.0, None),
+        ("leave", 40.0, None),
+    ]
+    for bad in ("leave@", "join@x", "storm@5:0", "storm@5:-2", "reboot@1"):
+        with pytest.raises(ValueError, match="bad churn spec"):
+            ChurnPlan.parse([bad])
+
+
+def test_spot_storm_spreads_and_replaces():
+    plan = ChurnPlan.spot_storm([4, 3], at_time=30.0, window_s=10.0,
+                                replace_after_s=15.0)
+    events = [(e.action, e.at_time) for e in plan.events]
+    assert events == [
+        ("leave", 30.0), ("join", 45.0),
+        ("leave", 40.0), ("join", 55.0),
+    ]
+    assert all(not e.kill_datanode for e in plan.events)
+    assert not ChurnPlan.spot_storm([], at_time=1.0)  # empty storm is empty
+
+
+def test_elastic_plan_shapes():
+    plan = ChurnPlan.elastic(joins=[5.0], leaves=[(9.0, None), (12.0, 2)])
+    assert [(e.action, e.node_id) for e in plan.events] == [
+        ("join", None), ("leave", None), ("leave", 2),
+    ]
+    assert bool(ChurnPlan()) is False
+
+
+# -- integration -------------------------------------------------------------
+
+def test_runtime_joiner_receives_work_and_job_completes():
+    sim = SimulatedCluster(2, seed=5)
+    sim.start()
+    apply_churn(sim.env, sim, ChurnPlan.elastic(joins=[5.0]))
+    result = sim.run_job(long_pi())
+    assert result.succeeded
+    # The blade that joined at t=5 (node id 3: ids are join-ordered and
+    # never reused) was fed real work by the JobTracker.
+    joiner = sim.cluster.workers[-1]
+    assert joiner.node_id == 3
+    assert joiner.kernel_busy_s > 0
+    assert all(v == 0 for v in sim.jobtracker._live_attempts.values())
+
+
+def test_storm_recovery_completes_with_degradation():
+    base = run_workload_mix(4, num_jobs=3, scheduler="fair",
+                            data_gb=1.0, samples=8e9, seed=9)
+    storm = run_workload_mix(
+        4, num_jobs=3, scheduler="fair", data_gb=1.0, samples=8e9, seed=9,
+        churn=ChurnPlan.spot_storm([4, 3], at_time=8.0, window_s=4.0),
+    )
+    assert base.succeeded and storm.succeeded
+    # Losing half the blades mid-run costs time (detection + re-execution)
+    # but never correctness.
+    assert storm.makespan_s > base.makespan_s
+
+
+def test_leave_of_already_dead_node_is_a_noop():
+    plan = ChurnPlan.elastic(leaves=[(5.0, 2), (6.0, 2), (7.0, None)])
+    mix = run_workload_mix(3, num_jobs=2, scheduler="fair",
+                           data_gb=0.5, samples=8e9, seed=2, churn=plan)
+    assert mix.succeeded
+
+
+class _RecordingFair(FairScheduler):
+    name = "recording_fair"
+
+    def __init__(self):
+        self.joined: list[tuple[int, ...]] = []
+        self.lost: list[tuple[int, ...]] = []
+        self.epochs: list[int] = []
+
+    def on_membership_change(self, view, joined=(), lost=()):
+        self.joined.append(tuple(joined))
+        self.lost.append(tuple(lost))
+        self.epochs.append(view.membership_epoch)
+
+
+def test_membership_hook_fires_for_joins_and_losses():
+    sched = _RecordingFair()
+    sim = SimulatedCluster(2, seed=5, scheduler=sched)
+    # Construction-time registration already notified the policy once
+    # per initial blade.
+    assert sched.joined == [(1,), (2,)]
+    sim.start()
+    apply_churn(sim.env, sim,
+                ChurnPlan.elastic(joins=[5.0], leaves=[(8.0, 1)]))
+    result = sim.run_job(long_pi())
+    assert result.succeeded
+    # The runtime joiner (id 3) was announced, and the revoked blade
+    # (id 1) was reported lost once the heartbeat timeout declared it.
+    assert (3,) in sched.joined
+    assert (1,) in sched.lost
+    # Epochs are strictly increasing: the view always reflects the new
+    # membership by the time the hook runs.
+    assert sched.epochs == sorted(sched.epochs)
+    assert sim.jobtracker._membership_epoch == 4  # 2 initial + join + loss

@@ -44,6 +44,12 @@ PARITY_CASES = {
     "multijob": {"num_jobs": [2, 4], "nodes": 2},
     "sched_compare": {"nodes": [2, 4]},
     "fig7": {"nodes": 4, "samples": [1e4, 1e8]},
+    # Elastic-membership families (frozen under the reference model when
+    # they were introduced): churn and preemption decisions must stay
+    # byte-stable under the fixed-interval protocol too.
+    "elastic": {"nodes": [2, 4]},
+    "spot_storm": {"revoked": [0, 2]},
+    "sla_mix": {"nodes": [2, 4]},
 }
 
 

@@ -39,7 +39,9 @@ def view(jobs, trackers=None, now=0.0):
 # -- registry ----------------------------------------------------------------
 
 def test_registry_names_and_resolution():
-    assert scheduler_names() == ["accel", "fair", "fifo", "locality"]
+    assert scheduler_names() == [
+        "accel", "fair", "fair_preempt", "fifo", "locality", "locality_reduce",
+    ]
     assert isinstance(resolve_scheduler(None), FifoScheduler)
     assert isinstance(resolve_scheduler("fair"), FairScheduler)
     assert isinstance(resolve_scheduler(LocalityAwareScheduler), LocalityAwareScheduler)

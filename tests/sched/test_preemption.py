@@ -1,0 +1,184 @@
+"""Preemption: policy decisions (synthetic views) and JobTracker mechanism.
+
+The fair_preempt policy's kill decisions are pure and unit-testable
+against hand-built cluster states; the JobTracker side (kill delivery,
+exactly-once requeue, validation of bogus choices) runs on the real
+simulation stack.
+"""
+
+import pytest
+
+from repro.core.simexec import SimulatedCluster
+from repro.hadoop import JobConf
+from repro.hadoop.job import TaskKind
+from repro.hadoop.messages import Heartbeat
+from repro.perf.calibration import Backend
+from repro.sched import (
+    AttemptView,
+    PreemptChoice,
+    PreemptiveFairScheduler,
+    Scheduler,
+    SchedulerError,
+    SyntheticJob,
+    SyntheticView,
+    TrackerView,
+    resolve_scheduler,
+)
+
+GRACE = PreemptiveFairScheduler.preemption_grace_s
+
+
+def hb(tracker_id=1, maps=0, reduces=0):
+    return Heartbeat(tracker_id=tracker_id, free_map_slots=maps,
+                     free_reduce_slots=reduces)
+
+
+def contended_view(now=0.0):
+    """Job 0 holds all four slots; job 1 is backlogged with nothing."""
+    hog = SyntheticJob(
+        0,
+        num_maps=8,
+        running_attempt_count=4,
+        running_attempts={
+            0: [AttemptView(1, 0, 2.0)],
+            1: [AttemptView(1, 1, 10.0)],   # youngest attempt
+            2: [AttemptView(2, 2, 8.0)],
+            3: [AttemptView(2, 3, 5.0)],
+        },
+    )
+    starved = SyntheticJob(1, pending_maps=(0, 1, 2, 3))
+    return SyntheticView(
+        [hog, starved], [TrackerView(1), TrackerView(2)], now=now
+    )
+
+
+def test_preemption_waits_out_the_grace_window():
+    sched = resolve_scheduler("fair_preempt")
+    # First sighting of starvation only starts the clock.
+    assert sched.assign(contended_view(now=100.0), hb()) == []
+    # Still inside the grace window: no kills.
+    assert sched.assign(contended_view(now=100.0 + GRACE / 2), hb()) == []
+    choices = sched.assign(contended_view(now=100.0 + GRACE), hb())
+    assert len(choices) == 1
+
+
+def test_preemption_kills_youngest_attempt_of_over_share_job():
+    sched = resolve_scheduler("fair_preempt")
+    sched.assign(contended_view(now=0.0), hb())
+    (choice,) = sched.assign(contended_view(now=GRACE), hb())
+    assert isinstance(choice, PreemptChoice)
+    # Job 0 is the only over-floor job; its youngest attempt (start 10.0,
+    # task 1 on tracker 1) is the least completed work to throw away.
+    assert (choice.job_id, choice.kind, choice.task_id) == (0, TaskKind.MAP, 1)
+    assert (choice.tracker_id, choice.attempt) == (1, 1)
+
+
+def test_preemption_budget_bounds_kills_per_exchange():
+    sched = PreemptiveFairScheduler(max_preempts_per_exchange=2)
+    sched.assign(contended_view(now=0.0), hb())
+    choices = sched.assign(contended_view(now=GRACE), hb())
+    assert len(choices) == 2
+    assert {c.task_id for c in choices} == {1, 2}  # two youngest
+
+
+def test_kill_resets_the_grace_clock():
+    """The slot a kill frees arrives via the victim's next heartbeat;
+    until then the starved job still looks starved. Issuing another kill
+    in that window would over-reclaim past the actual deficit."""
+    sched = resolve_scheduler("fair_preempt")
+    sched.assign(contended_view(now=0.0), hb())
+    assert len(sched.assign(contended_view(now=GRACE), hb())) == 1
+    # Same instant, next exchange: nothing (clock was just reset).
+    assert sched.assign(contended_view(now=GRACE), hb()) == []
+    # A full further grace window later it may reclaim again.
+    assert len(sched.assign(contended_view(now=2 * GRACE), hb())) == 1
+
+
+def test_no_preemption_at_or_above_floor_share():
+    """Both jobs at their floor: quiescent even with pending backlog."""
+    sched = resolve_scheduler("fair_preempt")
+    a = SyntheticJob(
+        0, num_maps=8, pending_maps=(4, 5), running_attempt_count=2,
+        running_attempts={0: [AttemptView(1, 0, 1.0)],
+                          1: [AttemptView(2, 1, 2.0)]},
+    )
+    b = SyntheticJob(
+        1, num_maps=8, pending_maps=(4, 5), running_attempt_count=2,
+        running_attempts={0: [AttemptView(1, 2, 1.5)],
+                          2: [AttemptView(2, 3, 2.5)]},
+    )
+    for now in (0.0, GRACE, 3 * GRACE):
+        assert sched.assign(
+            SyntheticView([a, b], [TrackerView(1), TrackerView(2)], now=now),
+            hb(),
+        ) == []
+
+
+def test_single_job_never_preempts_itself():
+    sched = resolve_scheduler("fair_preempt")
+    view = SyntheticView(
+        [SyntheticJob(0, num_maps=8, pending_maps=(4, 5),
+                      running_attempt_count=4,
+                      running_attempts={0: [AttemptView(1, 0, 1.0)]})],
+        [TrackerView(1), TrackerView(2)],
+        now=10 * GRACE,
+    )
+    assert sched.assign(view, hb()) == []
+
+
+# -- mechanism: the JobTracker side ------------------------------------------
+
+
+class _BogusPreempt(Scheduler):
+    """Delegates to fair, then claims a kill of an attempt that does
+    not exist — the JobTracker must reject it loudly, not no-op."""
+
+    name = "bogus_preempt"
+
+    def __init__(self):
+        self._inner = resolve_scheduler("fair")
+
+    def assign(self, view, hb):
+        choices = list(self._inner.assign(view, hb))
+        if view.now > 2.0 and view.jobs():
+            choices.append(PreemptChoice(
+                view.jobs()[0].job_id, TaskKind.MAP, 0, hb.tracker_id, 999
+            ))
+        return choices
+
+
+def test_jobtracker_rejects_bogus_preempt_choice():
+    sim = SimulatedCluster(2, seed=7, scheduler=_BogusPreempt())
+    conf = JobConf(name="bogus", workload="pi",
+                   backend=Backend.CELL_SPE_DIRECT,
+                   samples=4e9, num_map_tasks=8, num_reduce_tasks=1)
+    with pytest.raises(SchedulerError, match="preempt"):
+        sim.run_job(conf)
+
+
+def test_fair_preempt_reclaims_and_requeues_exactly_once():
+    """A heavy tenant arriving into a saturated cluster triggers real
+    kills; the preempted tasks re-run and every ledger drains to zero."""
+    sim = SimulatedCluster(2, seed=3, scheduler="fair_preempt")
+    hog = JobConf(name="hog", workload="pi",
+                  backend=Backend.CELL_SPE_DIRECT,
+                  samples=8e10, num_map_tasks=16, num_reduce_tasks=0,
+                  weight=1.0)
+    vip = JobConf(name="vip", workload="pi",
+                  backend=Backend.CELL_SPE_DIRECT,
+                  samples=2e10, num_map_tasks=4, num_reduce_tasks=0,
+                  weight=8.0)
+    results = sim.run_jobs([hog, vip], arrivals=[0.0, 10.0])
+    assert all(r.succeeded for r in results)
+    jt = sim.jobtracker
+    counters = jt.decision_counters()
+    assert counters["preemptions"] >= 1
+    assert counters["preemptions"] == counters.get("preempts_issued")
+    # The victim job records its lost attempts and still finishes with
+    # every task done; requeued tasks simply carry extra attempts.
+    assert results[0].counters.get("preempted_attempts", 0) >= 1
+    assert all(t.state == "done" for r in results for t in r.tasks)
+    # Exactly-once accounting: every attempt ledger drains.
+    assert all(v == 0 for v in jt._live_attempts.values())
+    assert all(not v for v in jt._running_attempts.values())
+    assert all(v == 0 for v in jt._tracker_attempts.values())
